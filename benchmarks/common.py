@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's figures (or an ablation) at
+*bench scale* and prints the same rows/series the paper plots. Scale knobs
+come from the environment so a single run can be pushed toward paper scale:
+
+* ``FELIP_BENCH_USERS``   — population n (default 60 000; paper 10^6)
+* ``FELIP_BENCH_QUERIES`` — workload size |Q| (default 10, as in the paper)
+* ``FELIP_BENCH_DOMAIN``  — numerical domain (default 64; paper 100)
+* ``FELIP_BENCH_REPEATS`` — collections averaged per cell (default 1)
+* ``FELIP_BENCH_SEED``    — master seed (default 2023)
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.scenario import FigureScale
+
+
+def bench_scale(**overrides) -> FigureScale:
+    """The benchmark-scale knobs, environment-overridable."""
+    base = dict(
+        users=int(os.environ.get("FELIP_BENCH_USERS", "60000")),
+        queries=int(os.environ.get("FELIP_BENCH_QUERIES", "10")),
+        numerical_domain=int(os.environ.get("FELIP_BENCH_DOMAIN", "64")),
+        repeats=int(os.environ.get("FELIP_BENCH_REPEATS", "1")),
+        seed=int(os.environ.get("FELIP_BENCH_SEED", "2023")),
+    )
+    base.update(overrides)
+    return FigureScale(**base)
+
+
+def run_and_print(benchmark, fn):
+    """Run ``fn`` once under pytest-benchmark and print its table."""
+    table = benchmark.pedantic(fn, rounds=1, iterations=1)
+    print()
+    print(table.render())
+    return table

@@ -1,0 +1,41 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each prints an A/B table isolating one FELIP design delta:
+per-grid sizing, selectivity-aware planning, the adaptive frequency
+oracle, and the post-processing stage.
+"""
+
+from benchmarks.common import bench_scale, run_and_print
+from repro.experiments.ablations import (
+    ablation_partitioning,
+    ablation_postprocess,
+    ablation_protocol,
+    ablation_selectivity,
+    ablation_sizing,
+    ablation_sw_refinement,
+)
+
+
+def test_ablation_sizing(benchmark):
+    run_and_print(benchmark, lambda: ablation_sizing(bench_scale()))
+
+
+def test_ablation_selectivity(benchmark):
+    run_and_print(benchmark, lambda: ablation_selectivity(bench_scale()))
+
+
+def test_ablation_protocol(benchmark):
+    run_and_print(benchmark, lambda: ablation_protocol(bench_scale()))
+
+
+def test_ablation_postprocess(benchmark):
+    run_and_print(benchmark, lambda: ablation_postprocess(bench_scale()))
+
+
+def test_ablation_partitioning(benchmark):
+    run_and_print(benchmark, lambda: ablation_partitioning(bench_scale()))
+
+
+def test_ablation_sw_refinement(benchmark):
+    run_and_print(benchmark,
+                  lambda: ablation_sw_refinement(bench_scale()))

@@ -1,0 +1,13 @@
+"""Figure 1: MAE vs privacy budget ε (paper Section 6.2.1).
+
+Paper shape to reproduce: OHG lowest on all skewed datasets, OUG
+competitive (sometimes best) on Uniform, HIO largest MAE everywhere;
+all errors fall as ε grows.
+"""
+
+from benchmarks.common import bench_scale, run_and_print
+from repro.experiments.figures import figure1
+
+
+def test_fig1_privacy_budget(benchmark):
+    run_and_print(benchmark, lambda: figure1(bench_scale()))

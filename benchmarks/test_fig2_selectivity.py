@@ -1,0 +1,13 @@
+"""Figure 2: MAE vs query selectivity s (paper Section 6.2.2).
+
+Paper shape: error grows as queries become less selective (more cells in
+the answer, more accumulated noise); OHG/OUG below HIO at every s; OUG
+strongest on Uniform at λ=2.
+"""
+
+from benchmarks.common import bench_scale, run_and_print
+from repro.experiments.figures import figure2
+
+
+def test_fig2_selectivity(benchmark):
+    run_and_print(benchmark, lambda: figure2(bench_scale()))

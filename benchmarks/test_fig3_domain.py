@@ -1,0 +1,23 @@
+"""Figure 3: MAE vs attribute domain size (paper Section 6.2.3).
+
+Paper shape: OUG/OHG error roughly flat as domains grow (grids re-bin, so
+the report domain barely changes); HIO error climbs with the domain (its
+hierarchies deepen and its groups shrink).
+
+The numerical domain sweep defaults to 25..400 for bench runtime; set
+``FELIP_BENCH_FIG3_FULL=1`` to extend it to the paper's 1600.
+"""
+
+import os
+
+from benchmarks.common import bench_scale, run_and_print
+from repro.experiments.figures import figure3
+
+_DOMAINS = ((25, 2), (50, 4), (100, 6), (200, 8), (400, 8))
+if os.environ.get("FELIP_BENCH_FIG3_FULL"):
+    _DOMAINS = ((25, 2), (100, 4), (400, 6), (800, 8), (1600, 8))
+
+
+def test_fig3_domain(benchmark):
+    run_and_print(benchmark,
+                  lambda: figure3(bench_scale(), domains=_DOMAINS))

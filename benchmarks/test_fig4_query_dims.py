@@ -1,0 +1,14 @@
+"""Figure 4: MAE vs query dimension λ (paper Section 6.2.4).
+
+Paper shape: queries get more restrictive as λ grows, so true answers and
+estimates both approach zero and MAE shrinks at the high end; IPUMS peaks
+mid-range where queries are still non-trivially satisfiable. HIO degrades
+hard at small λ (fewest users per group among the many it needs).
+"""
+
+from benchmarks.common import bench_scale, run_and_print
+from repro.experiments.figures import figure4
+
+
+def test_fig4_query_dims(benchmark):
+    run_and_print(benchmark, lambda: figure4(bench_scale()))

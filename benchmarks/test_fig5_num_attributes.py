@@ -1,0 +1,13 @@
+"""Figure 5: MAE vs number of dataset attributes |A| (paper Section 6.2.5).
+
+Paper shape: every strategy degrades as k grows (more grids -> fewer users
+per group); HIO degrades fastest (its group count is a *product* over
+attributes, not a pair count).
+"""
+
+from benchmarks.common import bench_scale, run_and_print
+from repro.experiments.figures import figure5
+
+
+def test_fig5_num_attributes(benchmark):
+    run_and_print(benchmark, lambda: figure5(bench_scale()))

@@ -1,0 +1,15 @@
+"""Figure 6: MAE vs population size n (paper Section 6.2.6).
+
+Paper shape: all strategies improve with n; OHG stays lowest throughout;
+the gap to HIO persists at every n.
+
+The sweep is centered on FELIP_BENCH_USERS (n/4 .. 4n), mirroring the
+paper's 100k..10M at laptop scale.
+"""
+
+from benchmarks.common import bench_scale, run_and_print
+from repro.experiments.figures import figure6
+
+
+def test_fig6_num_users(benchmark):
+    run_and_print(benchmark, lambda: figure6(bench_scale()))

@@ -1,0 +1,14 @@
+"""Figure 7: the range-only adaptive-protocol evaluation (Section 6.3).
+
+Paper shape, per family and dataset: OUG-OLH < TDG and OHG-OLH < HDG
+(better-sized grids), and the adaptive OUG/OHG at or below their pinned
+-OLH variants; all uniform-grid strategies are much worse on Normal than
+on Uniform (non-uniformity error), while the hybrid family stays low.
+"""
+
+from benchmarks.common import bench_scale, run_and_print
+from repro.experiments.figures import figure7
+
+
+def test_fig7_adaptive(benchmark):
+    run_and_print(benchmark, lambda: figure7(bench_scale()))

@@ -1,0 +1,65 @@
+"""Micro-benchmarks of the LDP primitives and pipeline stages.
+
+Not paper figures — these track the throughput of the building blocks so
+performance regressions are visible independent of experiment noise.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import bench_scale
+from repro import Felip
+from repro.data import normal_dataset
+from repro.fo import (
+    GeneralizedRandomizedResponse,
+    OptimizedLocalHashing,
+    OptimizedUnaryEncoding,
+)
+
+_N = 100_000
+_DOMAIN = 64
+
+
+@pytest.fixture(scope="module")
+def values():
+    return np.random.default_rng(0).integers(0, _DOMAIN, size=_N)
+
+
+def test_grr_perturb(benchmark, values):
+    oracle = GeneralizedRandomizedResponse(1.0, _DOMAIN)
+    rng = np.random.default_rng(1)
+    benchmark(lambda: oracle.perturb(values, rng))
+
+
+def test_grr_round_trip(benchmark, values):
+    oracle = GeneralizedRandomizedResponse(1.0, _DOMAIN)
+    rng = np.random.default_rng(2)
+    benchmark(lambda: oracle.run(values, rng))
+
+
+def test_olh_perturb(benchmark, values):
+    oracle = OptimizedLocalHashing(1.0, _DOMAIN)
+    rng = np.random.default_rng(3)
+    benchmark(lambda: oracle.perturb(values, rng))
+
+
+def test_olh_estimate(benchmark, values):
+    oracle = OptimizedLocalHashing(1.0, _DOMAIN)
+    report = oracle.perturb(values, np.random.default_rng(4))
+    benchmark(lambda: oracle.estimate(report))
+
+
+def test_oue_round_trip(benchmark, values):
+    oracle = OptimizedUnaryEncoding(1.0, _DOMAIN)
+    rng = np.random.default_rng(5)
+    benchmark(lambda: oracle.run(values, rng))
+
+
+def test_felip_ohg_fit(benchmark):
+    scale = bench_scale()
+    dataset = normal_dataset(min(scale.users, 50_000), num_numerical=3,
+                             num_categorical=3, numerical_domain=64,
+                             categorical_domain=8, rng=6)
+    benchmark.pedantic(
+        lambda: Felip.ohg(dataset.schema, epsilon=1.0).fit(dataset, rng=7),
+        rounds=3, iterations=1)

@@ -1,0 +1,70 @@
+"""Every strategy, one dataset, one table — plus SQL-driven queries.
+
+Runs all seven strategies (OUG/OHG, their OLH-pinned variants, HIO, TDG,
+HDG) on one loan-book collection and compares their answers on a workload
+written as SQL. A compact tour of the whole library surface.
+
+Run:  python examples/baseline_showdown.py
+"""
+
+import numpy as np
+
+from repro import Felip
+from repro.baselines import HDG, HIO, TDG
+from repro.data import loan_like_dataset
+from repro.metrics import ResultTable, mae
+from repro.queries import parse_count_query
+from repro.queries.query import true_answers
+
+
+SQL_WORKLOAD = [
+    "SELECT COUNT(*) FROM loans WHERE interest_rate BETWEEN 20.0 AND 31.0",
+    "SELECT COUNT(*) FROM loans WHERE grade IN ('E', 'F', 'G')",
+    ("SELECT COUNT(*) FROM loans WHERE dti >= 30.0 "
+     "AND home_ownership = 'rent'"),
+    ("SELECT COUNT(*) FROM loans WHERE credit_score <= 580.0 "
+     "AND purpose IN ('small_business', 'medical')"),
+    ("SELECT COUNT(*) FROM loans WHERE loan_amount BETWEEN 20000.0 "
+     "AND 40000.0 AND term = '60m' AND annual_income <= 60000.0"),
+]
+
+
+def main() -> None:
+    rng = np.random.default_rng(99)
+    dataset = loan_like_dataset(150_000, numerical_domain=64, rng=rng)
+    queries = [parse_count_query(sql, dataset.schema)
+               for sql in SQL_WORKLOAD]
+    truths = true_answers(queries, dataset)
+
+    strategies = {
+        "oug": Felip.oug(dataset.schema, epsilon=1.0),
+        "ohg": Felip.ohg(dataset.schema, epsilon=1.0),
+        "oug-olh": Felip.oug_olh(dataset.schema, epsilon=1.0),
+        "ohg-olh": Felip.ohg_olh(dataset.schema, epsilon=1.0),
+        "hio": HIO(dataset.schema, epsilon=1.0),
+        "tdg": TDG(dataset.schema, epsilon=1.0),
+        "hdg": HDG(dataset.schema, epsilon=1.0),
+    }
+    answers = {}
+    for name, model in strategies.items():
+        model.fit(dataset, rng=rng)
+        answers[name] = model.answer_workload(queries)
+
+    table = ResultTable(["query", "true", *strategies],
+                        title=f"Loan-book workload, n={dataset.n}, "
+                              f"epsilon=1.0")
+    for i, sql in enumerate(SQL_WORKLOAD):
+        table.add_row(f"Q{i + 1}", truths[i],
+                      *(answers[name][i] for name in strategies))
+    print(table.render())
+
+    print("\nworkload MAE per strategy:")
+    for name in strategies:
+        print(f"  {name:<8} {mae(answers[name], truths):.4f}")
+    print("\nqueries (SQL):")
+    for i, sql in enumerate(SQL_WORKLOAD):
+        print(f"  Q{i + 1}: {sql}")
+
+
+if __name__ == "__main__":
+    main()

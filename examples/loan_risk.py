@@ -1,0 +1,89 @@
+"""Loan-book risk slicing under LDP: the paper's Lending Club scenario.
+
+A lender wants risk-segment frequencies (high-rate loans by grade, DTI
+bands among renters, and so on) from borrower-held data. This example also
+demonstrates FELIP's *selectivity-aware planning*: the aggregator knows the
+upcoming queries are narrow (selectivity ~0.2) and sizes its grids for
+that, which the paper lists as one of its advantages over TDG/HDG's fixed
+50% assumption.
+
+Run:  python examples/loan_risk.py
+"""
+
+import numpy as np
+
+from repro import Felip
+from repro.data import loan_like_dataset
+from repro.metrics import ResultTable, mae
+from repro.queries import Query, between, isin
+from repro.queries.query import true_answers
+
+
+def risk_queries(schema) -> list:
+    d = schema["interest_rate"].domain_size
+    grades = schema["grade"]
+    risky = [grades.labels.index(g) for g in ("E", "F", "G")]
+
+    def band(lo_frac, hi_frac):
+        return int(lo_frac * d), min(int(hi_frac * d), d - 1)
+
+    return [
+        # High-rate loans in the riskiest grades
+        Query([between("interest_rate", *band(0.8, 1.0)),
+               isin("grade", risky)]),
+        # Highly-leveraged renters
+        Query([between("dti", *band(0.75, 1.0)),
+               isin("home_ownership", [0])]),
+        # Low-score small-business borrowers
+        Query([between("credit_score", *band(0.0, 0.25)),
+               isin("purpose", [5])]),
+        # Large 60-month loans with modest income
+        Query([between("loan_amount", *band(0.8, 1.0)),
+               isin("term", [1]),
+               between("annual_income", *band(0.0, 0.25))]),
+        # Unverified mid-rate loans
+        Query([isin("verification", [2]),
+               between("interest_rate", *band(0.4, 0.6))]),
+    ]
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    dataset = loan_like_dataset(200_000, numerical_domain=64, rng=rng)
+    queries = risk_queries(dataset.schema)
+    truths = true_answers(queries, dataset)
+    workload_selectivity = float(np.mean(
+        [q.selectivity(dataset.schema) ** (1 / q.dimension)
+         for q in queries]))
+    print(f"loan book: {dataset.n} loans; risk queries have mean "
+          f"per-attribute selectivity ~{workload_selectivity:.2f}\n")
+
+    # Default planning assumes 50% selectivity; informed planning uses the
+    # actual narrow selectivity of the risk workload.
+    default_model = Felip.ohg(dataset.schema, epsilon=1.0)
+    informed_model = Felip.ohg(dataset.schema, epsilon=1.0,
+                               expected_selectivity=0.2)
+    default_model.fit(dataset, rng=rng)
+    informed_model.fit(dataset, rng=rng)
+
+    table = ResultTable(["query", "true", "default_prior", "informed_prior"],
+                        title="Risk-slice estimates (epsilon = 1.0)")
+    default_answers = default_model.answer_workload(queries)
+    informed_answers = informed_model.answer_workload(queries)
+    for i in range(len(queries)):
+        table.add_row(f"Q{i + 1}", truths[i], default_answers[i],
+                      informed_answers[i])
+    print(table.render())
+    print(f"\nMAE with default 0.5 prior:  "
+          f"{mae(default_answers, truths):.5f}")
+    print(f"MAE with informed 0.2 prior: "
+          f"{mae(informed_answers, truths):.5f}")
+
+    print("\nplanned grid sizes (informed prior):")
+    for plan in informed_model.grid_plans[:8]:
+        print(f"  grid {plan.key}: {plan.num_cells} cells via "
+              f"{plan.protocol}")
+
+
+if __name__ == "__main__":
+    main()

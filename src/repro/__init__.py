@@ -1,0 +1,40 @@
+"""FELIP: locally differentially private frequency estimation on
+multidimensional datasets — a full reproduction of Costa Filho & Machado,
+EDBT 2023.
+
+Public surface:
+
+* :class:`repro.Felip` — the paper's strategies (OUG / OHG and their
+  OLH-pinned variants) behind a fit/answer interface;
+* :mod:`repro.data` — synthetic datasets (Uniform/Normal) plus IPUMS-like
+  and Loan-like generators standing in for the paper's real datasets;
+* :mod:`repro.queries` — predicates, conjunctive queries, random workloads;
+* :mod:`repro.fo` — GRR / OLH / OUE frequency oracles and the adaptive
+  chooser;
+* :mod:`repro.baselines` — HIO and TDG/HDG comparators;
+* :mod:`repro.experiments` — the figure-by-figure evaluation harness.
+"""
+
+from repro import data, queries
+from repro.core.config import FelipConfig
+from repro.core.felip import Felip
+from repro.errors import ReproError
+from repro.schema import (
+    CategoricalAttribute,
+    NumericalAttribute,
+    Schema,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Felip",
+    "FelipConfig",
+    "Schema",
+    "NumericalAttribute",
+    "CategoricalAttribute",
+    "ReproError",
+    "data",
+    "queries",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Error analysis: the paper's Section 5.7 decomposition, made queryable."""
+
+from repro.analysis.error_budget import (
+    ErrorBreakdown,
+    collection_report,
+    grid_error_breakdown,
+    predict_query_error,
+)
+
+__all__ = [
+    "ErrorBreakdown",
+    "grid_error_breakdown",
+    "predict_query_error",
+    "collection_report",
+]

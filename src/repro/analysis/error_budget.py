@@ -1,0 +1,165 @@
+"""Predicted error budgets (paper, Sections 5.2 and 5.7).
+
+The paper decomposes a grid answer's squared error into *noise + sampling*
+(one LDP-noise variance per cell inside the query region) and
+*non-uniformity* (mass misattributed by the within-cell uniformity
+assumption on partially covered border cells). This module exposes that
+decomposition for a planned collection, so an aggregator can inspect, per
+grid or per query, where its error budget goes — the same quantities the
+planner minimizes, evaluated at the *actual* query selectivities instead
+of the planning prior.
+
+The λ > 2 estimation error (Algorithm 4's pairwise-composition error) is
+dataset-dependent (paper §5.7) and is *not* modeled; predictions for
+λ > 2 queries sum the pairwise budgets and should be read as a
+lower-bound-flavored indicator, not a bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.config import FelipConfig
+from repro.core.planner import PlannedGrid, plan_grids
+from repro.errors import QueryError
+from repro.grids.grid import Grid1D, Grid2D
+from repro.grids.sizing import SizingParams
+from repro.metrics import ResultTable
+from repro.queries.query import Query
+from repro.schema import Schema
+
+
+@dataclass(frozen=True)
+class ErrorBreakdown:
+    """Predicted squared error of one grid answer, decomposed."""
+
+    noise_sampling: float
+    non_uniformity: float
+
+    @property
+    def total(self) -> float:
+        return self.noise_sampling + self.non_uniformity
+
+    def __add__(self, other: "ErrorBreakdown") -> "ErrorBreakdown":
+        return ErrorBreakdown(
+            noise_sampling=self.noise_sampling + other.noise_sampling,
+            non_uniformity=self.non_uniformity + other.non_uniformity)
+
+
+def _axis_is_numeric(grid, axis: str) -> bool:
+    attr = grid.attribute_x if axis == "x" else grid.attribute_y
+    return attr.is_numerical
+
+
+def grid_error_breakdown(planned: PlannedGrid, params: SizingParams,
+                         r_x: float, r_y: float = 0.5) -> ErrorBreakdown:
+    """Predicted error of one grid at the given query selectivities.
+
+    Mirrors the paper's per-grid objectives (Eqs. 3/4 and 9–12); the parts
+    here must sum to the totals the sizing module minimizes — tests pin
+    that equality.
+    """
+    grid = planned.grid
+    var0 = params.cell_variance(planned.protocol, planned.num_cells)
+    if isinstance(grid, Grid1D):
+        l = grid.num_cells
+        noise = l * r_x * var0
+        if grid.attribute.is_numerical and not grid.binning.is_trivial:
+            nonuni = (params.alpha1 / l) ** 2
+        else:
+            nonuni = 0.0
+        return ErrorBreakdown(noise_sampling=noise, non_uniformity=nonuni)
+
+    lx, ly = grid.shape
+    noise = lx * r_x * ly * r_y * var0
+    num_x = _axis_is_numeric(grid, "x") and not grid.binning_x.is_trivial
+    num_y = _axis_is_numeric(grid, "y") and not grid.binning_y.is_trivial
+    if num_x and num_y:
+        nonuni = (2.0 * params.alpha2 * (lx * r_x + ly * r_y)
+                  / (lx * ly)) ** 2
+    elif num_x:
+        nonuni = (2.0 * params.alpha2 * r_y / lx) ** 2
+    elif num_y:
+        nonuni = (2.0 * params.alpha2 * r_x / ly) ** 2
+    else:
+        nonuni = 0.0
+    return ErrorBreakdown(noise_sampling=noise, non_uniformity=nonuni)
+
+
+def _sizing_params(schema: Schema, config: FelipConfig, n: int,
+                   plans: Sequence[PlannedGrid]) -> SizingParams:
+    return SizingParams(epsilon=config.epsilon, n=n, m=len(plans),
+                        alpha1=config.alpha1, alpha2=config.alpha2)
+
+
+def predict_query_error(schema: Schema, config: FelipConfig, n: int,
+                        query: Query,
+                        plans: Optional[Sequence[PlannedGrid]] = None) \
+        -> ErrorBreakdown:
+    """Predicted squared error of answering ``query`` with this collection.
+
+    λ = 1 uses the attribute's 1-D grid (or its cheapest pair under OUG);
+    λ = 2 uses the pair's grid; λ > 2 sums the pairwise budgets (the
+    Algorithm 4 composition error is dataset-dependent and unmodeled).
+    """
+    query.validate_for(schema)
+    if plans is None:
+        plans = plan_grids(schema, config, n)
+    params = _sizing_params(schema, config, n, plans)
+    by_key = {p.key: p for p in plans}
+
+    selectivity = {
+        schema.index_of(pred.attribute):
+        pred.selectivity(schema[pred.attribute].domain_size)
+        for pred in query
+    }
+    indices = sorted(selectivity)
+
+    if len(indices) == 1:
+        t = indices[0]
+        if (t,) in by_key:
+            return grid_error_breakdown(by_key[(t,)], params,
+                                        selectivity[t])
+        pair_key = min((key for key in by_key if t in key and
+                        len(key) == 2),
+                       key=lambda key: by_key[key].num_cells)
+        r_x, r_y = ((selectivity[t], 1.0) if pair_key[0] == t
+                    else (1.0, selectivity[t]))
+        return grid_error_breakdown(by_key[pair_key], params, r_x, r_y)
+
+    total = ErrorBreakdown(0.0, 0.0)
+    for a in range(len(indices)):
+        for b in range(a + 1, len(indices)):
+            i, j = indices[a], indices[b]
+            planned = by_key.get((i, j))
+            if planned is None:
+                raise QueryError(f"no grid planned for pair ({i}, {j})")
+            total = total + grid_error_breakdown(
+                planned, params, selectivity[i], selectivity[j])
+    return total
+
+
+def collection_report(schema: Schema, config: FelipConfig, n: int,
+                      selectivity: Optional[float] = None) -> ResultTable:
+    """Per-grid plan summary: size, protocol, predicted error split.
+
+    ``selectivity`` defaults to the config's planning prior, so by default
+    the table shows exactly the budgets the planner balanced.
+    """
+    plans = plan_grids(schema, config, n)
+    params = _sizing_params(schema, config, n, plans)
+    r = (config.expected_selectivity if selectivity is None
+         else selectivity)
+    table = ResultTable(
+        ["grid", "cells", "protocol", "noise_sampling", "non_uniformity",
+         "total"],
+        title=f"Collection plan (n={n}, epsilon={config.epsilon}, "
+              f"m={len(plans)})")
+    for planned in plans:
+        names = "x".join(schema[t].name for t in planned.key)
+        breakdown = grid_error_breakdown(planned, params, r, r)
+        table.add_row(names, planned.num_cells, planned.protocol,
+                      breakdown.noise_sampling, breakdown.non_uniformity,
+                      breakdown.total)
+    return table

@@ -1,0 +1,16 @@
+"""Baseline mechanisms the paper compares against.
+
+* :class:`HIO` — hierarchy-based multidimensional analytics under LDP
+  (Wang et al., SIGMOD 2019), the paper's main competitor for point+range
+  queries (Section 6.2).
+* :class:`TDG` / :class:`HDG` — uniform/hybrid grids with shared
+  power-of-two granularity and OLH only (Yang et al., VLDB 2020), the
+  competitors of the range-only adaptive evaluation (Section 6.3).
+"""
+
+from repro.baselines.ahead import Ahead1D
+from repro.baselines.hierarchy import Hierarchy
+from repro.baselines.hio import HIO
+from repro.baselines.tdg_hdg import HDG, TDG
+
+__all__ = ["Hierarchy", "HIO", "TDG", "HDG", "Ahead1D"]

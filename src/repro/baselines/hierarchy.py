@@ -1,0 +1,151 @@
+"""Per-attribute interval hierarchies for HIO (paper, Section 3.1).
+
+A numerical attribute's hierarchy starts from the root interval covering the
+whole domain and recursively splits every interval into ``b`` near-equal
+children until all intervals are singletons; level ``j`` therefore has at
+most ``b^j`` intervals and there are ``h + 1 = ⌈log_b d⌉ + 1`` levels.
+Width-one intervals are carried down unchanged so every level is a complete
+partition of the domain.
+
+A categorical attribute has exactly two levels: the root and the
+singletons ("all other intermediate levels are unnecessary").
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GridError
+
+#: (level, interval_index) pairs
+CoverEntry = Tuple[int, int]
+
+
+class Hierarchy:
+    """Interval hierarchy of one attribute."""
+
+    def __init__(self, domain_size: int, branching: int = 4,
+                 categorical: bool = False):
+        if domain_size < 1:
+            raise GridError(f"domain_size must be >= 1, got {domain_size}")
+        if branching < 2:
+            raise GridError(f"branching must be >= 2, got {branching}")
+        self.domain_size = int(domain_size)
+        self.branching = int(branching)
+        self.categorical = bool(categorical)
+        #: per level, the interval edges (edges[i] .. edges[i+1]-1)
+        self.level_edges: List[np.ndarray] = []
+        #: child_ranges[j][i] = (lo, hi) child indices of interval i of
+        #: level j in level j+1 (half-open)
+        self.child_ranges: List[List[Tuple[int, int]]] = []
+        self._build()
+
+    def _build(self) -> None:
+        root = np.array([0, self.domain_size], dtype=np.int64)
+        self.level_edges.append(root)
+        if self.categorical:
+            if self.domain_size > 1:
+                self.level_edges.append(
+                    np.arange(self.domain_size + 1, dtype=np.int64))
+                self.child_ranges.append([(0, self.domain_size)])
+            return
+        while (np.diff(self.level_edges[-1]) > 1).any():
+            edges = self.level_edges[-1]
+            new_edges = [0]
+            ranges: List[Tuple[int, int]] = []
+            for i in range(len(edges) - 1):
+                lo, hi = int(edges[i]), int(edges[i + 1])
+                width = hi - lo
+                start = len(new_edges) - 1
+                if width == 1:
+                    new_edges.append(hi)
+                else:
+                    parts = min(self.branching, width)
+                    base, extra = divmod(width, parts)
+                    cursor = lo
+                    for p in range(parts):
+                        cursor += base + (1 if p < extra else 0)
+                        new_edges.append(cursor)
+                ranges.append((start, len(new_edges) - 1))
+            self.level_edges.append(np.asarray(new_edges, dtype=np.int64))
+            self.child_ranges.append(ranges)
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def num_levels(self) -> int:
+        """``h + 1``: root plus refinement levels down to singletons."""
+        return len(self.level_edges)
+
+    def num_intervals(self, level: int) -> int:
+        return len(self.level_edges[level]) - 1
+
+    def interval_bounds(self, level: int, index: int) -> Tuple[int, int]:
+        """Inclusive code range of one interval."""
+        edges = self.level_edges[level]
+        if not 0 <= index < len(edges) - 1:
+            raise GridError(
+                f"interval {index} outside level {level} "
+                f"(has {len(edges) - 1} intervals)")
+        return int(edges[index]), int(edges[index + 1] - 1)
+
+    def interval_of(self, level: int, codes: np.ndarray) -> np.ndarray:
+        """Interval index of each code at ``level`` (vectorized)."""
+        codes = np.asarray(codes)
+        if codes.size and (codes.min() < 0
+                           or codes.max() >= self.domain_size):
+            raise GridError(
+                f"codes outside domain [0, {self.domain_size})")
+        return np.searchsorted(self.level_edges[level], codes,
+                               side="right") - 1
+
+    # -- covers ----------------------------------------------------------------
+
+    def cover(self, lo: int, hi: int) -> List[CoverEntry]:
+        """Minimal set of intervals exactly covering the code range.
+
+        Greedy top-down: keep any interval fully inside the range, recurse
+        into partially-overlapping ones.
+        """
+        if lo > hi:
+            raise GridError(f"empty code range [{lo}, {hi}]")
+        if lo < 0 or hi >= self.domain_size:
+            raise GridError(
+                f"range [{lo}, {hi}] outside [0, {self.domain_size})")
+        out: List[CoverEntry] = []
+
+        def recurse(level: int, index: int) -> None:
+            a, b = self.interval_bounds(level, index)
+            if b < lo or a > hi:
+                return
+            if a >= lo and b <= hi:
+                out.append((level, index))
+                return
+            if level + 1 >= self.num_levels:
+                return
+            child_lo, child_hi = self.child_ranges[level][index]
+            for child in range(child_lo, child_hi):
+                recurse(level + 1, child)
+
+        recurse(0, 0)
+        return out
+
+    def approximate_cover(self, lo: int, hi: int, level: int) \
+            -> List[Tuple[int, int, float]]:
+        """All intervals of ``level`` overlapping the range, with fractional
+        weights (overlap fraction under the uniformity assumption).
+
+        Used to coarsen exact covers when a query's cross-product of covers
+        would explode (see :class:`repro.baselines.HIO`).
+        """
+        edges = self.level_edges[level]
+        first = int(np.searchsorted(edges, lo, side="right") - 1)
+        last = int(np.searchsorted(edges, hi, side="right") - 1)
+        entries = []
+        for index in range(first, last + 1):
+            a, b = self.interval_bounds(level, index)
+            overlap = (min(b, hi) - max(a, lo) + 1) / (b - a + 1)
+            entries.append((level, index, overlap))
+        return entries

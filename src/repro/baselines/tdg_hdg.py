@@ -1,0 +1,45 @@
+"""TDG and HDG (Yang et al., VLDB 2020) as configured grid collections.
+
+Both baselines share FELIP's grid machinery — that is the point of the
+paper's Section 6.3 comparison: the *only* differences are the published
+restrictions, which this module encodes in the configuration:
+
+* OLH everywhere (no adaptive protocol choice);
+* one shared granularity for all 2-D grids (and one for all 1-D grids in
+  HDG), derived from the largest numerical domain at a fixed assumed
+  selectivity of 50%;
+* granularities rounded to the nearest power of two (the divisibility
+  work-around the paper criticizes in Section 3.2).
+
+TDG is the uniform-grid variant (2-D grids only, uniform intra-cell
+assumption); HDG adds the 1-D refinement grids.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import FelipConfig
+from repro.core.felip import Felip
+from repro.schema import Schema
+
+_SHARED = dict(
+    protocols=("olh",),
+    expected_selectivity=0.5,
+    shared_granularity=True,
+    power_of_two_granularity=True,
+)
+
+
+class TDG(Felip):
+    """Two-Dimensional Grid baseline (range queries, OLH, shared g2)."""
+
+    def __init__(self, schema: Schema, epsilon: float = 1.0, **overrides):
+        config = FelipConfig(epsilon=epsilon, strategy="oug", **_SHARED)
+        super().__init__(schema, config, **overrides)
+
+
+class HDG(Felip):
+    """Hybrid-Dimensional Grid baseline (adds shared-g1 1-D grids)."""
+
+    def __init__(self, schema: Schema, epsilon: float = 1.0, **overrides):
+        config = FelipConfig(epsilon=epsilon, strategy="ohg", **_SHARED)
+        super().__init__(schema, config, **overrides)

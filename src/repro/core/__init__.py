@@ -1,0 +1,18 @@
+"""FELIP core: planning, collection, aggregation, query answering."""
+
+from repro.core.config import FelipConfig
+from repro.core.planner import PlannedGrid, plan_grids
+from repro.core.partition import partition_users
+from repro.core.server import Aggregator
+from repro.core.felip import Felip
+from repro.core.streaming import StreamingCollector
+
+__all__ = [
+    "FelipConfig",
+    "PlannedGrid",
+    "plan_grids",
+    "partition_users",
+    "Aggregator",
+    "Felip",
+    "StreamingCollector",
+]

@@ -1,0 +1,139 @@
+"""FELIP strategy configuration.
+
+One dataclass covers the paper's four strategies and the two baselines that
+share the grid machinery:
+
+==========  ==========  ============  ===================  =================
+Strategy    ``strategy``  ``protocols``  ``shared_granularity``  selectivity
+==========  ==========  ============  ===================  =================
+OUG         ``"oug"``   grr+olh       False                aggregator's prior
+OHG         ``"ohg"``   grr+olh       False                aggregator's prior
+OUG-OLH     ``"oug"``   olh only      False                aggregator's prior
+OHG-OLH     ``"ohg"``   olh only      False                aggregator's prior
+TDG         ``"oug"``   olh only      True (+pow2)         fixed 0.5
+HDG         ``"ohg"``   olh only      True (+pow2)         fixed 0.5
+==========  ==========  ============  ===================  =================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+
+_STRATEGIES = ("oug", "ohg")
+_KNOWN_PROTOCOLS = ("grr", "olh", "oue")
+_PARTITION_MODES = ("users", "budget")
+
+
+@dataclass(frozen=True)
+class FelipConfig:
+    """All knobs of a FELIP-style collection.
+
+    Attributes
+    ----------
+    epsilon:
+        Privacy budget ε; every user spends all of it on one report.
+    strategy:
+        ``"oug"`` (2-D grids only) or ``"ohg"`` (plus 1-D refinement grids
+        for numerical attributes).
+    protocols:
+        Candidate frequency oracles for the adaptive choice. A single-entry
+        tuple pins the protocol (the paper's OUG-OLH / OHG-OLH variants).
+    alpha1, alpha2:
+        Non-uniformity constants (paper defaults 0.7 / 0.03).
+    expected_selectivity:
+        The aggregator's prior on per-attribute query selectivity ``r``,
+        used when sizing grids (FELIP's "incorporate knowledge of query
+        selectivity"; TDG/HDG hard-code 0.5).
+    selectivity_overrides:
+        Optional per-attribute-name selectivity priors.
+    postprocess_rounds:
+        Consistency/non-negativity alternations (0 = non-negativity only).
+    response_matrix_max_iters, lambda_max_iters:
+        Iteration caps of Algorithms 3 and 4.
+    shared_granularity:
+        TDG/HDG mode: one granularity for all 1-D grids and one for all 2-D
+        numerical axes, derived from the largest numerical domain.
+    power_of_two_granularity:
+        TDG/HDG mode: round granularities to the nearest power of two.
+    partition_mode:
+        ``"users"`` (the paper's design, Theorem 5.1): the population is
+        split into m groups, each user reports one grid with full ε.
+        ``"budget"``: every user reports every grid with ε/m (sequential
+        composition) — strictly worse (the theorem), provided for the
+        empirical demonstration and ablations.
+    one_d_protocol:
+        ``"sw"`` replaces OHG's binned 1-D refinement grids with the
+        Square Wave mechanism over the full value domain (EM/EMS
+        reconstruction; an extension following the paper's reference
+        [25]). ``"ahead"`` uses the AHEAD-style *data-adaptive* binning
+        (extension implementing the paper's "avoid cells with low true
+        counts" future-work note). ``None`` (default) keeps the paper's
+        grid design.
+    """
+
+    epsilon: float = 1.0
+    strategy: str = "ohg"
+    protocols: Tuple[str, ...] = ("grr", "olh")
+    alpha1: float = 0.7
+    alpha2: float = 0.03
+    expected_selectivity: float = 0.5
+    selectivity_overrides: Dict[str, float] = field(default_factory=dict)
+    postprocess_rounds: int = 2
+    response_matrix_max_iters: int = 100
+    lambda_max_iters: int = 500
+    shared_granularity: bool = False
+    power_of_two_granularity: bool = False
+    partition_mode: str = "users"
+    one_d_protocol: str = None
+
+    def __post_init__(self) -> None:
+        if self.partition_mode not in _PARTITION_MODES:
+            raise ConfigurationError(
+                f"partition_mode must be one of {_PARTITION_MODES}, "
+                f"got {self.partition_mode!r}")
+        if self.one_d_protocol not in (None, "sw", "ahead"):
+            raise ConfigurationError(
+                f"one_d_protocol must be None, 'sw' or 'ahead', "
+                f"got {self.one_d_protocol!r}")
+        if self.epsilon <= 0:
+            raise ConfigurationError(
+                f"epsilon must be positive, got {self.epsilon}")
+        if self.strategy not in _STRATEGIES:
+            raise ConfigurationError(
+                f"strategy must be one of {_STRATEGIES}, "
+                f"got {self.strategy!r}")
+        if not self.protocols:
+            raise ConfigurationError("need at least one candidate protocol")
+        unknown = [p for p in self.protocols if p not in _KNOWN_PROTOCOLS]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown protocols {unknown}; expected subset of "
+                f"{_KNOWN_PROTOCOLS}")
+        if not 0.0 < self.expected_selectivity <= 1.0:
+            raise ConfigurationError(
+                f"expected_selectivity must be in (0, 1], got "
+                f"{self.expected_selectivity}")
+        for name, value in self.selectivity_overrides.items():
+            if not 0.0 < value <= 1.0:
+                raise ConfigurationError(
+                    f"selectivity override for {name!r} must be in (0, 1], "
+                    f"got {value}")
+        if self.postprocess_rounds < 0:
+            raise ConfigurationError("postprocess_rounds must be >= 0")
+        if self.response_matrix_max_iters < 1:
+            raise ConfigurationError("response_matrix_max_iters must be >= 1")
+        if self.lambda_max_iters < 1:
+            raise ConfigurationError("lambda_max_iters must be >= 1")
+
+    def selectivity_for(self, attribute_name: str) -> float:
+        """The planning selectivity prior for one attribute."""
+        return self.selectivity_overrides.get(attribute_name,
+                                              self.expected_selectivity)
+
+    @property
+    def uses_1d_grids(self) -> bool:
+        """True for the hybrid (OHG / HDG) strategies."""
+        return self.strategy == "ohg"

@@ -1,0 +1,318 @@
+"""Aggregator: estimate grids, post-process, answer queries.
+
+The aggregator sees only perturbed reports. It estimates each grid's cell
+frequencies with the matching frequency-oracle estimator, runs the
+post-processing stage (consistency + non-negativity, Section 5.4), builds
+response matrices per attribute pair on demand (Algorithm 3), and answers
+λ-D queries by direct rectangle sums (λ ≤ 2) or pairwise combination
+(Algorithm 4, λ > 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.client import (
+    GroupReport,
+    collect_reports,
+    collect_reports_budget_split,
+)
+from repro.core.config import FelipConfig
+from repro.core.partition import partition_users
+from repro.core.planner import PlannedGrid, plan_grids
+from repro.data.dataset import Dataset
+from repro.errors import NotFittedError, QueryError
+from repro.estimation.lambda_query import (
+    PairAnswers,
+    estimate_lambda_query,
+    pair_answers_from_matrix,
+)
+from repro.estimation.response_matrix import build_response_matrix
+from repro.fo.adaptive import make_oracle
+from repro.fo.variance import grr_variance, olh_variance
+from repro.grids.grid import GridEstimate
+from repro.postprocess.pipeline import postprocess_grids
+from repro.queries.predicate import Predicate
+from repro.queries.query import Query
+from repro.rng import RngLike, ensure_rng
+from repro.schema import Schema
+
+
+class Aggregator:
+    """The server side of a FELIP collection."""
+
+    def __init__(self, schema: Schema, config: FelipConfig):
+        self.schema = schema
+        self.config = config
+        self.n: Optional[int] = None
+        self.plans: List[PlannedGrid] = []
+        self._estimates: Dict[Tuple[int, ...], GridEstimate] = {}
+        self._matrices: Dict[Tuple[int, int], np.ndarray] = {}
+        self._priors: Dict[Tuple[int, int], np.ndarray] = {}
+        self._report_epsilon: float = config.epsilon
+
+    # -- collection -----------------------------------------------------------
+
+    def fit(self, dataset: Dataset, rng: RngLike = None) -> "Aggregator":
+        """Run the full collection pipeline on ``dataset``."""
+        if dataset.schema != self.schema:
+            raise QueryError("dataset schema does not match aggregator's")
+        rng = ensure_rng(rng)
+        self.n = dataset.n
+        self.plans = plan_grids(self.schema, self.config, dataset.n)
+        if self.config.partition_mode == "budget":
+            # Theorem 5.1 strawman: everyone reports every grid with eps/m.
+            self._report_epsilon = (self.config.epsilon
+                                    / max(len(self.plans), 1))
+            reports = collect_reports_budget_split(
+                dataset.records, self.plans, self.config.epsilon, rng)
+        else:
+            self._report_epsilon = self.config.epsilon
+            assignment = partition_users(dataset.n, len(self.plans), rng)
+            reports = collect_reports(dataset.records, assignment,
+                                      self.plans, self.config.epsilon, rng)
+        self._finalize(reports)
+        return self
+
+    def _finalize(self, reports: List[GroupReport]) -> "Aggregator":
+        """Estimate every grid from its reports and post-process.
+
+        Split out of :meth:`fit` so streaming collectors can accumulate
+        reports across batches and finalize once.
+        """
+        self._estimates = {}
+        self._matrices = {}
+        for group in reports:
+            self._estimates[group.planned.key] = self._estimate_group(group)
+        postprocess_grids(
+            list(self._estimates.values()),
+            self._cell_variances(),
+            num_attributes=len(self.schema),
+            rounds=self.config.postprocess_rounds)
+        return self
+
+    def _cell_variances(self) -> Dict[Tuple[int, ...], float]:
+        """Actual per-cell estimation variance per grid (for weighting)."""
+        if self.config.partition_mode != "budget":
+            return {p.key: p.cell_variance for p in self.plans}
+        variances = {}
+        for plan in self.plans:
+            if plan.protocol == "grr":
+                var = grr_variance(self._report_epsilon,
+                                   max(plan.num_cells, 2), max(self.n, 1))
+            else:
+                var = olh_variance(self._report_epsilon, max(self.n, 1))
+            variances[plan.key] = var
+        return variances
+
+    def _estimate_group(self, group: GroupReport) -> GridEstimate:
+        planned = group.planned
+        if group.report is None:
+            # Empty group or single-cell grid: fall back to the uniform
+            # prior (single-cell grids have exact frequency [1.0]).
+            freqs = np.full(planned.num_cells, 1.0 / planned.num_cells)
+            return GridEstimate(grid=planned.grid, frequencies=freqs)
+        if planned.protocol == "ahead":
+            return self._estimate_ahead_group(group)
+        oracle = make_oracle(planned.protocol, self._report_epsilon,
+                             planned.num_cells)
+        return GridEstimate(grid=planned.grid,
+                            frequencies=oracle.estimate(group.report))
+
+    @staticmethod
+    def _estimate_ahead_group(group: GroupReport) -> GridEstimate:
+        """Turn a fitted AHEAD model into a (data-adaptively binned) grid.
+
+        The planned placeholder grid is replaced by one whose binning is
+        the model's final frontier — finer cells where the data is — and
+        whose frequencies are the frontier estimates. Downstream stages
+        (consistency, response matrices) already handle arbitrary
+        contiguous binnings.
+        """
+        from repro.grids.binning import Binning
+        from repro.grids.grid import Grid1D
+        model = group.report
+        intervals = model.frontier
+        edges = np.array([iv.lo for iv in intervals]
+                         + [intervals[-1].hi + 1], dtype=np.int64)
+        binning = Binning.from_edges(edges)
+        grid = Grid1D(group.planned.grid.attr_index,
+                      group.planned.grid.attribute, binning)
+        freqs = np.array([iv.frequency for iv in intervals])
+        return GridEstimate(grid=grid, frequencies=freqs)
+
+    # -- estimation accessors ---------------------------------------------------
+
+    def _require_fitted(self) -> None:
+        if self.n is None:
+            raise NotFittedError("call fit() before querying")
+
+    def estimate_for(self, key: Tuple[int, ...]) -> GridEstimate:
+        """The (post-processed) estimate of the grid identified by ``key``."""
+        self._require_fitted()
+        try:
+            return self._estimates[key]
+        except KeyError:
+            raise QueryError(f"no grid with key {key}") from None
+
+    def response_matrix(self, i: int, j: int) -> np.ndarray:
+        """Response matrix ``M(i, j)`` with ``i < j`` (cached)."""
+        self._require_fitted()
+        if i >= j:
+            raise QueryError(f"pair must satisfy i < j, got ({i}, {j})")
+        if (i, j) not in self._matrices:
+            related = [self.estimate_for((i, j))]
+            for t in (i, j):
+                if (t,) in self._estimates:
+                    related.append(self._estimates[(t,)])
+            self._matrices[(i, j)] = build_response_matrix(
+                related, i, j,
+                self.schema[i].domain_size, self.schema[j].domain_size,
+                self.n, max_iters=self.config.response_matrix_max_iters,
+                prior=self._priors.get((i, j)))
+        return self._matrices[(i, j)]
+
+    def set_prior(self, attr_i, attr_j, matrix: np.ndarray) -> None:
+        """Register public prior knowledge of a pair's joint distribution.
+
+        The prior seeds the response-matrix fit (Algorithm 3) in place of
+        the uniform initialization — the "incorporate prior public
+        knowledge" extension the paper's conclusion proposes. It never
+        overrides collected evidence: the fit still matches every grid
+        constraint; the prior only shapes mass *within* grid cells.
+        """
+        i = (self.schema.index_of(attr_i) if isinstance(attr_i, str)
+             else int(attr_i))
+        j = (self.schema.index_of(attr_j) if isinstance(attr_j, str)
+             else int(attr_j))
+        if i == j:
+            raise QueryError("prior needs two distinct attributes")
+        if i > j:
+            i, j = j, i
+            matrix = np.asarray(matrix).T
+        matrix = np.asarray(matrix, dtype=np.float64)
+        expected = (self.schema[i].domain_size, self.schema[j].domain_size)
+        if matrix.shape != expected:
+            raise QueryError(
+                f"prior shape {matrix.shape} does not match domains "
+                f"{expected}")
+        if (matrix < 0).any() or matrix.sum() <= 0:
+            raise QueryError("prior must be non-negative with positive mass")
+        self._priors[(i, j)] = matrix / matrix.sum()
+        self._matrices.pop((i, j), None)
+
+    def joint(self, attr_i, attr_j) -> np.ndarray:
+        """Estimated value-level joint distribution of an attribute pair.
+
+        Returns the response matrix oriented ``(attr_i, attr_j)``; compare
+        against :meth:`repro.data.Dataset.joint_marginal` for evaluation.
+        """
+        self._require_fitted()
+        i = (self.schema.index_of(attr_i) if isinstance(attr_i, str)
+             else int(attr_i))
+        j = (self.schema.index_of(attr_j) if isinstance(attr_j, str)
+             else int(attr_j))
+        if i == j:
+            raise QueryError("joint needs two distinct attributes")
+        if i < j:
+            return self.response_matrix(i, j).copy()
+        return self.response_matrix(j, i).T.copy()
+
+    def estimate_mean(self, attribute) -> float:
+        """Estimated mean of a numerical attribute (decoded values)."""
+        t = (self.schema.index_of(attribute) if isinstance(attribute, str)
+             else int(attribute))
+        attr = self.schema[t]
+        if not attr.is_numerical:
+            raise QueryError(
+                f"attribute {attr.name!r} is categorical; means are only "
+                f"defined for numerical attributes")
+        marginal = self.marginal(t)
+        values = np.array([attr.code_to_value(c)
+                           for c in range(attr.domain_size)])
+        total = marginal.sum()
+        if total <= 0:
+            return float(values.mean())
+        return float((marginal / total) @ values)
+
+    def marginal(self, attribute) -> np.ndarray:
+        """Estimated value-level frequency vector of one attribute.
+
+        Derived from the response matrix of the attribute's first pair, so
+        it reflects all post-processing.
+        """
+        self._require_fitted()
+        t = (self.schema.index_of(attribute) if isinstance(attribute, str)
+             else int(attribute))
+        partner = 0 if t != 0 else 1
+        i, j = min(t, partner), max(t, partner)
+        matrix = self.response_matrix(i, j)
+        return matrix.sum(axis=1) if t == i else matrix.sum(axis=0)
+
+    # -- query answering ---------------------------------------------------------
+
+    def answer(self, query: Query) -> float:
+        """Estimated fractional answer of a λ-D query."""
+        self._require_fitted()
+        query.validate_for(self.schema)
+        predicates = list(query)
+        if len(predicates) == 1:
+            return self._answer_single(predicates[0])
+        if len(predicates) == 2:
+            return self._answer_pair(predicates[0], predicates[1])
+        return self._answer_lambda(predicates)
+
+    def answer_workload(self, queries: Iterable[Query]) -> np.ndarray:
+        """Vectorized convenience over :meth:`answer`."""
+        return np.array([self.answer(q) for q in queries])
+
+    def _indicator(self, predicate: Predicate) -> np.ndarray:
+        domain = self.schema[predicate.attribute].domain_size
+        return predicate.indicator(domain)
+
+    @staticmethod
+    def _clamp(value: float) -> float:
+        """Frequencies live in [0, 1]; clamp estimator overshoot."""
+        return min(max(float(value), 0.0), 1.0)
+
+    def _answer_single(self, predicate: Predicate) -> float:
+        t = self.schema.index_of(predicate.attribute)
+        if (t,) in self._estimates:
+            return self._clamp(self._estimates[(t,)].answer_1d(predicate))
+        marginal = self.marginal(t)
+        return self._clamp(self._indicator(predicate) @ marginal)
+
+    def _answer_pair(self, pred_a: Predicate, pred_b: Predicate) -> float:
+        ta = self.schema.index_of(pred_a.attribute)
+        tb = self.schema.index_of(pred_b.attribute)
+        if ta > tb:
+            ta, tb = tb, ta
+            pred_a, pred_b = pred_b, pred_a
+        matrix = self.response_matrix(ta, tb)
+        value = self._indicator(pred_a) @ matrix @ self._indicator(pred_b)
+        return self._clamp(value)
+
+    def _answer_lambda(self, predicates: List[Predicate]) -> float:
+        indices = [self.schema.index_of(p.attribute) for p in predicates]
+        pair_answers: Dict[Tuple[int, int], PairAnswers] = {}
+        for a in range(len(predicates)):
+            for b in range(a + 1, len(predicates)):
+                ta, tb = indices[a], indices[b]
+                pred_a, pred_b = predicates[a], predicates[b]
+                if ta > tb:
+                    ta, tb = tb, ta
+                    pred_a, pred_b = pred_b, pred_a
+                matrix = self.response_matrix(ta, tb)
+                answers = pair_answers_from_matrix(
+                    matrix, self._indicator(pred_a),
+                    self._indicator(pred_b))
+                if indices[a] > indices[b]:
+                    # Transpose the 2x2 table back to (a, b) order.
+                    answers = PairAnswers(pp=answers.pp, pn=answers.np_,
+                                          np_=answers.pn, nn=answers.nn)
+                pair_answers[(a, b)] = answers
+        return self._clamp(estimate_lambda_query(
+            pair_answers, len(predicates), self.n,
+            max_iters=self.config.lambda_max_iters))

@@ -1,0 +1,153 @@
+"""Streaming collection: users arrive in batches over time.
+
+The paper's conclusion points at answering queries over data streams as an
+extension. This module provides the natural architecture for it: grids are
+planned once (from an expected population size), each *arriving* user is
+assigned a group and reports immediately with the full budget ε, and the
+aggregator can be finalized at any point — estimates simply sharpen as
+more users arrive. Each user still reports exactly once, so the privacy
+guarantee is unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.client import GroupReport
+from repro.core.config import FelipConfig
+from repro.core.planner import PlannedGrid, plan_grids
+from repro.core.server import Aggregator
+from repro.errors import ConfigurationError, ProtocolError
+from repro.fo.adaptive import make_oracle
+from repro.fo.grr import GRRReport
+from repro.fo.olh import OLHReport
+from repro.fo.oue import OUEReport
+from repro.fo.square_wave import SWReport
+from repro.rng import RngLike, ensure_rng
+from repro.schema import Schema
+
+
+def merge_reports(reports: List[object]):
+    """Concatenate report batches of the same protocol and parameters."""
+    if not reports:
+        return None
+    first = reports[0]
+    if isinstance(first, GRRReport):
+        if any(r.domain_size != first.domain_size for r in reports):
+            raise ProtocolError("cannot merge GRR reports across domains")
+        return GRRReport(
+            values=np.concatenate([r.values for r in reports]),
+            domain_size=first.domain_size)
+    if isinstance(first, OLHReport):
+        if any(r.hash_range != first.hash_range
+               or r.domain_size != first.domain_size for r in reports):
+            raise ProtocolError("cannot merge OLH reports across configs")
+        return OLHReport(
+            seeds=np.concatenate([r.seeds for r in reports]),
+            buckets=np.concatenate([r.buckets for r in reports]),
+            hash_range=first.hash_range, domain_size=first.domain_size)
+    if isinstance(first, OUEReport):
+        if any(len(r.ones) != len(first.ones) for r in reports):
+            raise ProtocolError("cannot merge OUE reports across domains")
+        return OUEReport(ones=sum(r.ones for r in reports),
+                         n=sum(r.n for r in reports))
+    if isinstance(first, SWReport):
+        if any(len(r.counts) != len(first.counts)
+               or abs(r.wave_width - first.wave_width) > 1e-12
+               for r in reports):
+            raise ProtocolError("cannot merge SW reports across configs")
+        return SWReport(counts=sum(r.counts for r in reports),
+                        n=sum(r.n for r in reports),
+                        wave_width=first.wave_width)
+    raise ProtocolError(
+        f"unsupported report type {type(first).__name__}")
+
+
+class StreamingCollector:
+    """Accumulates ε-LDP reports batch by batch.
+
+    Parameters
+    ----------
+    schema, config:
+        As for :class:`~repro.core.Aggregator`.
+    expected_users:
+        The planner's prior on the eventual population size — grid sizes
+        are fixed up front (users must know their grid before reporting),
+        so size them for the population you expect to see.
+
+    Example
+    -------
+    >>> collector = StreamingCollector(schema, FelipConfig(), 100_000)
+    >>> for batch in batches:                      # doctest: +SKIP
+    ...     collector.observe(batch)
+    >>> model = collector.finalize()               # doctest: +SKIP
+    >>> model.answer(query)                        # doctest: +SKIP
+    """
+
+    def __init__(self, schema: Schema, config: FelipConfig,
+                 expected_users: int, rng: RngLike = None):
+        if expected_users < 1:
+            raise ConfigurationError(
+                f"expected_users must be >= 1, got {expected_users}")
+        if config.partition_mode != "users":
+            raise ConfigurationError(
+                "streaming collection requires partition_mode='users'")
+        if config.one_d_protocol == "ahead":
+            raise ConfigurationError(
+                "the AHEAD adaptive refinement needs the whole group at "
+                "once and cannot run over a stream; use 'sw' or None")
+        self.schema = schema
+        self.config = config
+        self.plans: List[PlannedGrid] = plan_grids(schema, config,
+                                                   expected_users)
+        self._rng = ensure_rng(rng)
+        self._batches: Dict[Tuple[int, ...], List[object]] = {
+            p.key: [] for p in self.plans}
+        self._group_sizes = np.zeros(len(self.plans), dtype=np.int64)
+        self.observed = 0
+
+    def observe(self, records: np.ndarray, rng: RngLike = None) -> None:
+        """Ingest one batch of arriving users (``(b, k)`` code matrix).
+
+        Each user is assigned a uniformly random group on arrival and
+        reports once; group sizes balance in expectation.
+        """
+        records = np.asarray(records)
+        if records.ndim != 2 or records.shape[1] != len(self.schema):
+            raise ProtocolError(
+                f"batch shape {records.shape} does not match schema with "
+                f"{len(self.schema)} attributes")
+        rng = self._rng if rng is None else ensure_rng(rng)
+        assignment = rng.integers(0, len(self.plans), size=len(records))
+        for g, plan in enumerate(self.plans):
+            rows = records[assignment == g]
+            self._group_sizes[g] += len(rows)
+            if len(rows) == 0 or plan.num_cells < 2:
+                continue
+            oracle = make_oracle(plan.protocol, self.config.epsilon,
+                                 plan.num_cells)
+            values = plan.grid.encode(rows)
+            self._batches[plan.key].append(oracle.perturb(values, rng))
+        self.observed += len(records)
+
+    def finalize(self) -> Aggregator:
+        """Build a queryable aggregator from everything observed so far.
+
+        Can be called repeatedly; later calls include later batches.
+        """
+        if self.observed == 0:
+            raise ConfigurationError("no users observed yet")
+        reports = []
+        for g, plan in enumerate(self.plans):
+            merged = merge_reports(self._batches[plan.key])
+            reports.append(GroupReport(planned=plan, report=merged,
+                                       group_size=int(
+                                           self._group_sizes[g])))
+        aggregator = Aggregator(self.schema, self.config)
+        aggregator.n = self.observed
+        aggregator.plans = self.plans
+        aggregator._finalize(reports)
+        return aggregator

@@ -1,0 +1,29 @@
+"""Dataset containers and generators (synthetic and real-data substitutes)."""
+
+from repro.data.dataset import Dataset
+from repro.data.synthetic import (
+    correlated_pair_dataset,
+    normal_dataset,
+    uniform_dataset,
+    zipf_dataset,
+)
+from repro.data.ipums import ipums_like_dataset
+from repro.data.loan import loan_like_dataset
+from repro.data.transforms import (
+    build_dataset,
+    discretize_numeric,
+    encode_categorical,
+)
+
+__all__ = [
+    "Dataset",
+    "build_dataset",
+    "discretize_numeric",
+    "encode_categorical",
+    "uniform_dataset",
+    "normal_dataset",
+    "zipf_dataset",
+    "correlated_pair_dataset",
+    "ipums_like_dataset",
+    "loan_like_dataset",
+]

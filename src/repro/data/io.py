@@ -1,0 +1,83 @@
+"""CSV persistence for integer-coded datasets.
+
+Format: a header row ``name:kind:domain[:lo:hi]`` per column followed by the
+integer codes. This keeps the schema self-describing so a saved dataset can
+be reloaded without external metadata.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.errors import DataError
+from repro.schema import Schema
+from repro.schema.attribute import (
+    Attribute,
+    CategoricalAttribute,
+    NumericalAttribute,
+)
+
+PathLike = Union[str, Path]
+
+
+def _header_field(attr: Attribute) -> str:
+    if attr.is_numerical:
+        if attr.lo is not None:
+            return f"{attr.name}:num:{attr.domain_size}:{attr.lo}:{attr.hi}"
+        return f"{attr.name}:num:{attr.domain_size}"
+    return f"{attr.name}:cat:{attr.domain_size}"
+
+
+def _parse_header_field(field: str) -> Attribute:
+    parts = field.split(":")
+    if len(parts) not in (3, 5):
+        raise DataError(f"malformed header field {field!r}")
+    name, kind, domain = parts[0], parts[1], int(parts[2])
+    if kind == "num":
+        lo = hi = None
+        if len(parts) == 5:
+            lo, hi = float(parts[3]), float(parts[4])
+        return NumericalAttribute(name=name, domain_size=domain, lo=lo, hi=hi)
+    if kind == "cat":
+        return CategoricalAttribute(name=name, domain_size=domain)
+    raise DataError(f"unknown attribute kind {kind!r} in {field!r}")
+
+
+def save_csv(dataset: Dataset, path: PathLike) -> None:
+    """Write ``dataset`` to ``path`` with a self-describing header."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([_header_field(a) for a in dataset.schema])
+        writer.writerows(dataset.records.tolist())
+
+
+def load_csv(path: PathLike) -> Dataset:
+    """Read a dataset previously written by :func:`save_csv`."""
+    path = Path(path)
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DataError(f"{path}: empty file") from None
+        schema = Schema([_parse_header_field(f) for f in header])
+        rows: List[List[int]] = []
+        for lineno, row in enumerate(reader, start=2):
+            if len(row) != len(schema):
+                raise DataError(
+                    f"{path}:{lineno}: expected {len(schema)} columns, "
+                    f"got {len(row)}"
+                )
+            try:
+                rows.append([int(v) for v in row])
+            except ValueError as exc:
+                raise DataError(f"{path}:{lineno}: {exc}") from None
+    records = (np.asarray(rows, dtype=np.int64) if rows
+               else np.empty((0, len(schema)), dtype=np.int64))
+    return Dataset(schema, records)

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the FELIP reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause
+while still being able to discriminate on the specific failure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class SchemaError(ReproError):
+    """An attribute or schema definition is invalid."""
+
+
+class DataError(ReproError):
+    """A dataset is malformed or inconsistent with its schema."""
+
+
+class QueryError(ReproError):
+    """A query or predicate is invalid for the schema it targets."""
+
+
+class PrivacyError(ReproError):
+    """A privacy parameter (e.g. the budget epsilon) is invalid."""
+
+
+class ProtocolError(ReproError):
+    """A frequency-oracle protocol was misused (wrong domain, bad report...)."""
+
+
+class GridError(ReproError):
+    """A grid definition or grid-sizing computation is invalid."""
+
+
+class EstimationError(ReproError):
+    """An estimation routine failed to produce a usable result."""
+
+
+class ConfigurationError(ReproError):
+    """A strategy or experiment configuration is invalid."""
+
+
+class NotFittedError(ReproError):
+    """An aggregator was queried before data collection ran."""

@@ -1,0 +1,15 @@
+"""Estimation algorithms: response matrices and λ-D query combination."""
+
+from repro.estimation.response_matrix import build_response_matrix
+from repro.estimation.lambda_query import (
+    PairAnswers,
+    estimate_lambda_query,
+    pair_answers_from_matrix,
+)
+
+__all__ = [
+    "build_response_matrix",
+    "PairAnswers",
+    "pair_answers_from_matrix",
+    "estimate_lambda_query",
+]

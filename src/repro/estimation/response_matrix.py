@@ -1,0 +1,150 @@
+"""Algorithm 3: building the response matrix via weighted update.
+
+For an attribute pair ``(a_i, a_j)`` the response matrix ``M`` has one entry
+per 2-D *value* ``(x, y)`` — finer than any grid. It is fit by iterative
+proportional scaling: repeatedly, for every cell ``c`` of every related grid
+(Γ = the pair's 2-D grid plus the attributes' 1-D grids when they exist),
+rescale the entries in ``c``'s subdomain so their total matches the cell's
+estimated mass ``f_c``. Convergence: total absolute change per sweep below
+``1/n`` (paper's threshold), with a hard iteration cap as a backstop.
+
+When both attributes are categorical the pair's 2-D grid already has one
+cell per value, so ``M`` is just its matrix (the paper's special case).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import EstimationError
+from repro.grids.grid import Grid1D, Grid2D, GridEstimate
+
+#: (row_lo, row_hi_excl, col_lo, col_hi_excl, target_mass)
+_Constraint = Tuple[int, int, int, int, float]
+
+
+def _constraints_for(estimate: GridEstimate, attr_i: int, attr_j: int,
+                     di: int, dj: int) -> List[_Constraint]:
+    """Rectangle constraints that ``estimate`` imposes on the (i, j) matrix."""
+    grid = estimate.grid
+    constraints: List[_Constraint] = []
+    if isinstance(grid, Grid1D):
+        binning = grid.binning
+        for cell in range(binning.num_cells):
+            lo, hi = binning.bounds(cell)
+            mass = float(estimate.frequencies[cell])
+            if grid.attr_index == attr_i:
+                constraints.append((lo, hi + 1, 0, dj, mass))
+            elif grid.attr_index == attr_j:
+                constraints.append((0, di, lo, hi + 1, mass))
+            else:
+                raise EstimationError(
+                    f"1-D grid over attribute {grid.attr_index} unrelated "
+                    f"to pair ({attr_i}, {attr_j})"
+                )
+        return constraints
+
+    if not isinstance(grid, Grid2D):
+        raise EstimationError(f"unsupported grid type {type(grid).__name__}")
+    if grid.attr_index_x == attr_i and grid.attr_index_y == attr_j:
+        bx, by, transpose = grid.binning_x, grid.binning_y, False
+    elif grid.attr_index_x == attr_j and grid.attr_index_y == attr_i:
+        bx, by, transpose = grid.binning_x, grid.binning_y, True
+    else:
+        raise EstimationError(
+            f"2-D grid over {grid.key} unrelated to pair "
+            f"({attr_i}, {attr_j})"
+        )
+    matrix = estimate.matrix()
+    for cx in range(bx.num_cells):
+        x_lo, x_hi = bx.bounds(cx)
+        for cy in range(by.num_cells):
+            y_lo, y_hi = by.bounds(cy)
+            mass = float(matrix[cx, cy])
+            if transpose:
+                constraints.append((y_lo, y_hi + 1, x_lo, x_hi + 1, mass))
+            else:
+                constraints.append((x_lo, x_hi + 1, y_lo, y_hi + 1, mass))
+    return constraints
+
+
+def build_response_matrix(related: Sequence[GridEstimate], attr_i: int,
+                          attr_j: int, di: int, dj: int, n: int,
+                          max_iters: int = 100,
+                          prior: np.ndarray = None) -> np.ndarray:
+    """Fit the ``d_i x d_j`` response matrix ``M(i, j)``.
+
+    Parameters
+    ----------
+    related:
+        Γ — the pair's 2-D grid estimate plus any 1-D grid estimates of the
+        two attributes (order irrelevant).
+    attr_i, attr_j:
+        Schema indices of the pair (``M``'s rows are ``a_i`` values).
+    di, dj:
+        The attributes' domain sizes.
+    n:
+        Population size; the convergence threshold is ``1/n``.
+    max_iters:
+        Backstop on the number of full sweeps.
+    prior:
+        Optional public-knowledge joint distribution seeding the iteration
+        in place of the uniform start. The fit still matches every grid
+        constraint; the prior only shapes mass *within* cells (where the
+        collected data carries no signal).
+    """
+    if not related:
+        raise EstimationError("need at least one related grid estimate")
+    if n < 1:
+        raise EstimationError(f"n must be >= 1, got {n}")
+    if prior is not None:
+        prior = np.asarray(prior, dtype=np.float64)
+        if prior.shape != (di, dj):
+            raise EstimationError(
+                f"prior shape {prior.shape} != domain shape ({di}, {dj})")
+        if (prior < 0).any() or prior.sum() <= 0:
+            raise EstimationError(
+                "prior must be non-negative with positive total mass")
+
+    # Fast path: the 2-D grid has one cell per value (cat x cat, or tiny
+    # numeric domains fully resolved) and there is nothing to refine.
+    if len(related) == 1:
+        grid = related[0].grid
+        if (isinstance(grid, Grid2D) and grid.binning_x.is_trivial
+                and grid.binning_y.is_trivial):
+            matrix = related[0].matrix()
+            if grid.attr_index_x == attr_i:
+                return matrix.copy()
+            return matrix.T.copy()
+
+    constraints: List[_Constraint] = []
+    for estimate in related:
+        constraints.extend(
+            _constraints_for(estimate, attr_i, attr_j, di, dj))
+
+    if prior is None:
+        m = np.full((di, dj), 1.0 / (di * dj))
+    else:
+        # Keep a tiny uniform floor so cells the prior zeroes out can
+        # still absorb mass the collected grids put there.
+        m = (prior / prior.sum()) * (1.0 - 1e-6) + 1e-6 / (di * dj)
+    threshold = 1.0 / n
+    for _ in range(max_iters):
+        change = 0.0
+        for row_lo, row_hi, col_lo, col_hi, target in constraints:
+            block = m[row_lo:row_hi, col_lo:col_hi]
+            total = block.sum()
+            if total <= 0.0:
+                if target > 0.0:
+                    per_value = target / block.size
+                    change += target
+                    block[:] = per_value
+                continue
+            scale = target / total
+            change += abs(target - total)
+            block *= scale
+        if change < threshold:
+            break
+    return m

@@ -1,0 +1,20 @@
+"""Evaluation harness: the paper's figures as reproducible experiments."""
+
+from repro.experiments.scenario import DatasetSpec, FigureScale
+from repro.experiments.runner import (
+    STRATEGY_NAMES,
+    RunResult,
+    evaluate_strategy,
+    make_strategy,
+)
+from repro.experiments import figures
+
+__all__ = [
+    "DatasetSpec",
+    "FigureScale",
+    "STRATEGY_NAMES",
+    "RunResult",
+    "make_strategy",
+    "evaluate_strategy",
+    "figures",
+]

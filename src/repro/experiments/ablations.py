@@ -1,0 +1,205 @@
+"""Ablations of FELIP's design choices (DESIGN.md §4).
+
+These sweeps isolate the four design deltas the paper credits for FELIP's
+utility gains over TDG/HDG, each as an A/B on otherwise-identical
+configurations:
+
+* **per-grid sizing** vs one shared (power-of-two) granularity;
+* **selectivity-aware planning** vs the fixed 50% assumption;
+* **adaptive protocol** vs pinned GRR / pinned OLH;
+* **post-processing** (consistency + non-negativity) on vs off.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.config import FelipConfig
+from repro.core.felip import Felip
+from repro.experiments.figures import _build_dataset, _cell_seed, _workload
+from repro.experiments.scenario import FigureScale
+from repro.metrics import ResultTable, mae
+from repro.queries.query import true_answers
+
+
+def _run(config: FelipConfig, dataset, queries, truths, seed,
+         repeats: int = 1) -> float:
+    """MAE of one configuration, averaged over ``repeats`` collections."""
+    maes = []
+    for offset in range(repeats):
+        model = Felip(dataset.schema, config).fit(dataset,
+                                                  rng=seed + offset)
+        maes.append(mae(model.answer_workload(queries), truths))
+    return float(np.mean(maes))
+
+
+def ablation_sizing(scale: FigureScale = FigureScale(),
+                    datasets: Sequence[str] = ("uniform", "normal"),
+                    dimension: int = 2) -> ResultTable:
+    """Per-grid sizing vs shared power-of-two granularity (all else equal)."""
+    table = ResultTable(["dataset", "per_grid", "shared_pow2"],
+                        title="Ablation — per-grid vs shared granularity")
+    for kind in datasets:
+        dataset = _build_dataset(scale, kind)
+        queries = _workload(dataset, scale, dimension, 0.5, tag=f"ab1-{kind}")
+        truths = true_answers(queries, dataset)
+        base = dict(epsilon=1.0, strategy="ohg", protocols=("olh",))
+        per_grid = _run(FelipConfig(**base), dataset, queries, truths,
+                        _cell_seed(scale.seed, "ab1", kind, "per"),
+                        repeats=scale.repeats)
+        shared = _run(FelipConfig(**base, shared_granularity=True,
+                                  power_of_two_granularity=True),
+                      dataset, queries, truths,
+                      _cell_seed(scale.seed, "ab1", kind, "shared"),
+                      repeats=scale.repeats)
+        table.add_row(kind, per_grid, shared)
+    return table
+
+
+def ablation_selectivity(scale: FigureScale = FigureScale(),
+                         datasets: Sequence[str] = ("uniform", "normal"),
+                         true_selectivity: float = 0.2,
+                         dimension: int = 2) -> ResultTable:
+    """Planning with the true workload selectivity vs the fixed 0.5 prior."""
+    table = ResultTable(["dataset", "matched_prior", "fixed_half"],
+                        title="Ablation — selectivity-aware planning")
+    for kind in datasets:
+        dataset = _build_dataset(scale, kind)
+        queries = _workload(dataset, scale, dimension, true_selectivity,
+                            tag=f"ab2-{kind}")
+        truths = true_answers(queries, dataset)
+        matched = _run(
+            FelipConfig(epsilon=1.0, strategy="ohg",
+                        expected_selectivity=true_selectivity),
+            dataset, queries, truths,
+            _cell_seed(scale.seed, "ab2", kind, "match"),
+            repeats=scale.repeats)
+        fixed = _run(
+            FelipConfig(epsilon=1.0, strategy="ohg",
+                        expected_selectivity=0.5),
+            dataset, queries, truths,
+            _cell_seed(scale.seed, "ab2", kind, "fixed"),
+            repeats=scale.repeats)
+        table.add_row(kind, matched, fixed)
+    return table
+
+
+def ablation_protocol(scale: FigureScale = FigureScale(),
+                      datasets: Sequence[str] = ("uniform", "normal"),
+                      dimension: int = 2) -> ResultTable:
+    """Adaptive protocol vs pinned GRR vs pinned OLH."""
+    table = ResultTable(["dataset", "adaptive", "grr_only", "olh_only"],
+                        title="Ablation — adaptive frequency oracle")
+    for kind in datasets:
+        dataset = _build_dataset(scale, kind)
+        queries = _workload(dataset, scale, dimension, 0.5, tag=f"ab3-{kind}")
+        truths = true_answers(queries, dataset)
+        maes = []
+        for label, protocols in (("adaptive", ("grr", "olh")),
+                                 ("grr", ("grr",)), ("olh", ("olh",))):
+            config = FelipConfig(epsilon=1.0, strategy="ohg",
+                                 protocols=protocols)
+            maes.append(_run(config, dataset, queries, truths,
+                             _cell_seed(scale.seed, "ab3", kind, label),
+                             repeats=scale.repeats))
+        table.add_row(kind, *maes)
+    return table
+
+
+def ablation_postprocess(scale: FigureScale = FigureScale(),
+                         datasets: Sequence[str] = ("uniform", "normal"),
+                         dimension: int = 4) -> ResultTable:
+    """Full post-processing vs non-negativity only."""
+    table = ResultTable(["dataset", "full_postprocess", "nonneg_only"],
+                        title="Ablation — post-processing")
+    for kind in datasets:
+        dataset = _build_dataset(scale, kind)
+        queries = _workload(dataset, scale, dimension, 0.5, tag=f"ab4-{kind}")
+        truths = true_answers(queries, dataset)
+        full = _run(FelipConfig(epsilon=1.0, strategy="ohg",
+                                postprocess_rounds=2),
+                    dataset, queries, truths,
+                    _cell_seed(scale.seed, "ab4", kind, "full"),
+                    repeats=scale.repeats)
+        off = _run(FelipConfig(epsilon=1.0, strategy="ohg",
+                               postprocess_rounds=0),
+                   dataset, queries, truths,
+                   _cell_seed(scale.seed, "ab4", kind, "off"),
+                   repeats=scale.repeats)
+        table.add_row(kind, full, off)
+    return table
+
+
+def ablation_partitioning(scale: FigureScale = FigureScale(),
+                          datasets: Sequence[str] = ("uniform", "normal"),
+                          dimension: int = 2) -> ResultTable:
+    """Theorem 5.1, empirically: divide users vs divide the budget.
+
+    Both variants spend total budget ε per user; the budget-splitting
+    variant (every user reports every grid with ε/m) should always lose.
+    """
+    table = ResultTable(["dataset", "divide_users", "divide_budget"],
+                        title="Ablation — population partitioning "
+                              "(Theorem 5.1)")
+    for kind in datasets:
+        dataset = _build_dataset(scale, kind)
+        queries = _workload(dataset, scale, dimension, 0.5, tag=f"ab5-{kind}")
+        truths = true_answers(queries, dataset)
+        users = _run(FelipConfig(epsilon=1.0, strategy="ohg",
+                                 partition_mode="users"),
+                     dataset, queries, truths,
+                     _cell_seed(scale.seed, "ab5", kind, "users"),
+                     repeats=scale.repeats)
+        budget = _run(FelipConfig(epsilon=1.0, strategy="ohg",
+                                  partition_mode="budget"),
+                      dataset, queries, truths,
+                      _cell_seed(scale.seed, "ab5", kind, "budget"),
+                      repeats=scale.repeats)
+        table.add_row(kind, users, budget)
+    return table
+
+
+def ablation_sw_refinement(scale: FigureScale = FigureScale(),
+                           datasets: Sequence[str] = ("uniform", "normal"),
+                           dimension: int = 2) -> ResultTable:
+    """OHG's binned 1-D refinement vs Square Wave full-domain refinement.
+
+    The SW extension (paper ref [25]) shines on smooth numerical marginals
+    at tight budgets; on uniform data there is little shape to recover.
+    """
+    table = ResultTable(["dataset", "grid_1d", "sw_1d", "ahead_1d"],
+                        title="Ablation — 1-D refinement backend "
+                              "(grid vs Square Wave vs AHEAD)")
+    for kind in datasets:
+        dataset = _build_dataset(scale, kind)
+        queries = _workload(dataset, scale, dimension, 0.5, tag=f"ab6-{kind}")
+        truths = true_answers(queries, dataset)
+        grid_1d = _run(FelipConfig(epsilon=0.5, strategy="ohg"),
+                       dataset, queries, truths,
+                       _cell_seed(scale.seed, "ab6", kind, "grid"),
+                       repeats=scale.repeats)
+        sw_1d = _run(FelipConfig(epsilon=0.5, strategy="ohg",
+                                 one_d_protocol="sw"),
+                     dataset, queries, truths,
+                     _cell_seed(scale.seed, "ab6", kind, "sw"),
+                     repeats=scale.repeats)
+        ahead_1d = _run(FelipConfig(epsilon=0.5, strategy="ohg",
+                                    one_d_protocol="ahead"),
+                        dataset, queries, truths,
+                        _cell_seed(scale.seed, "ab6", kind, "ahead"),
+                        repeats=scale.repeats)
+        table.add_row(kind, grid_1d, sw_1d, ahead_1d)
+    return table
+
+
+ALL_ABLATIONS = {
+    "sizing": ablation_sizing,
+    "selectivity": ablation_selectivity,
+    "protocol": ablation_protocol,
+    "postprocess": ablation_postprocess,
+    "partitioning": ablation_partitioning,
+    "sw_refinement": ablation_sw_refinement,
+}

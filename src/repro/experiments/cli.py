@@ -1,0 +1,131 @@
+"""Command-line entry point: ``felip-experiments``.
+
+Regenerates any of the paper's figures (or the ablations) as text tables::
+
+    felip-experiments fig1 --users 100000
+    felip-experiments fig7 --queries 20 --seed 7
+    felip-experiments ablations
+    felip-experiments all --users 30000 --csv results/
+
+Figures run at bench scale by default; pass ``--users 1000000
+--numerical-domain 100`` for paper scale (slow).
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.experiments.ablations import ALL_ABLATIONS
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.scenario import FigureScale
+from repro.metrics import ResultTable
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="felip-experiments",
+        description="Regenerate the FELIP paper's evaluation figures.")
+    choices = [*ALL_FIGURES, "ablations", "plan", "all"]
+    parser.add_argument("target", choices=choices,
+                        help="which figure (fig1..fig7), 'ablations', "
+                             "'plan' (inspect a collection plan), or "
+                             "'all'")
+    parser.add_argument("--epsilon", type=float, default=1.0,
+                        help="privacy budget for the 'plan' target")
+    parser.add_argument("--strategy", choices=("oug", "ohg"),
+                        default="ohg", help="strategy for 'plan'")
+    parser.add_argument("--dataset", default="ipums",
+                        choices=("uniform", "normal", "zipf", "ipums",
+                                 "loan"),
+                        help="schema source for 'plan'")
+    parser.add_argument("--users", type=int, default=60_000,
+                        help="population size n (paper: 1000000)")
+    parser.add_argument("--queries", type=int, default=10,
+                        help="workload size |Q| (paper: 10)")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="collection repeats averaged per cell")
+    parser.add_argument("--numerical-domain", type=int, default=64,
+                        help="numerical attribute domain (paper: 100)")
+    parser.add_argument("--categorical-domain", type=int, default=8,
+                        help="categorical attribute domain")
+    parser.add_argument("--seed", type=int, default=2023,
+                        help="master seed for data/workload/protocols")
+    parser.add_argument("--csv", type=Path, default=None,
+                        help="directory to also write per-table CSV files")
+    parser.add_argument("--report", type=Path, default=None,
+                        help="write all tables to one Markdown report")
+    return parser
+
+
+def _write_csv(table: ResultTable, directory: Path, name: str) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.csv"
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(table.columns)
+        writer.writerows(table.rows)
+
+
+def _print_plan(args, scale: FigureScale) -> None:
+    """The 'plan' target: show grid sizes/protocols/error budgets."""
+    from repro.analysis import collection_report
+    from repro.core.config import FelipConfig
+    from repro.experiments.scenario import DatasetSpec
+
+    # Only the schema is needed; build a 2-row sample to obtain it.
+    spec = DatasetSpec(kind=args.dataset, n=2,
+                       num_numerical=scale.num_numerical,
+                       num_categorical=scale.num_categorical,
+                       numerical_domain=scale.numerical_domain,
+                       categorical_domain=scale.categorical_domain)
+    schema = spec.build(rng=scale.seed).schema
+    config = FelipConfig(epsilon=args.epsilon, strategy=args.strategy)
+    print(collection_report(schema, config, scale.users).render())
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    scale = FigureScale(
+        users=args.users, queries=args.queries, repeats=args.repeats,
+        numerical_domain=args.numerical_domain,
+        categorical_domain=args.categorical_domain, seed=args.seed)
+
+    if args.target == "plan":
+        _print_plan(args, scale)
+        return 0
+
+    if args.target == "all":
+        targets = list(ALL_FIGURES) + ["ablations"]
+    else:
+        targets = [args.target]
+
+    tables = []
+    for target in targets:
+        if target == "ablations":
+            for name, fn in ALL_ABLATIONS.items():
+                table = fn(scale=scale)
+                tables.append(table)
+                print(table.render())
+                print()
+                if args.csv:
+                    _write_csv(table, args.csv, f"ablation_{name}")
+        else:
+            table = ALL_FIGURES[target](scale=scale)
+            tables.append(table)
+            print(table.render())
+            print()
+            if args.csv:
+                _write_csv(table, args.csv, target)
+    if args.report:
+        from repro.experiments.report import write_report
+        write_report(tables, args.report, scale=scale)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

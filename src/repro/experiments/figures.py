@@ -1,0 +1,246 @@
+"""The paper's figures as callable experiments.
+
+Each ``figureN`` function reruns the corresponding sweep of Section 6 and
+returns a :class:`~repro.metrics.ResultTable` whose rows are the series the
+paper plots (one row per x-axis point and dataset, one MAE column per
+strategy). Benchmarks print these tables; EXPERIMENTS.md records the
+paper-vs-measured comparison.
+
+All functions accept a :class:`~repro.experiments.FigureScale` so the same
+code runs at bench scale (default) and at paper scale
+(``FigureScale(users=10**6, numerical_domain=100)``).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.data.dataset import Dataset
+from repro.experiments.runner import evaluate_strategy
+from repro.experiments.scenario import (
+    PAPER_DATASETS,
+    DatasetSpec,
+    FigureScale,
+)
+from repro.metrics import ResultTable
+from repro.queries import WorkloadSpec, random_workload
+
+#: strategies compared in the Section 6.2 sweeps
+DEFAULT_STRATEGIES = ("oug", "ohg", "hio")
+#: strategies of the Section 6.3 range-only adaptive evaluation
+ADAPTIVE_UNIFORM = ("tdg", "oug-olh", "oug")
+ADAPTIVE_HYBRID = ("hdg", "ohg-olh", "ohg")
+
+
+def _cell_seed(*parts) -> int:
+    """Stable per-cell seed from the cell coordinates."""
+    text = "|".join(str(p) for p in parts)
+    return zlib.crc32(text.encode("utf-8"))
+
+
+def _total_attributes(scale: FigureScale) -> int:
+    return scale.num_numerical + scale.num_categorical
+
+
+def _build_dataset(scale: FigureScale, kind: str, total: int = None,
+                   **overrides) -> Dataset:
+    total = total or _total_attributes(scale)
+    spec = scale.dataset_spec(kind, **overrides)
+    return spec.build_projected(total, rng=_cell_seed(
+        scale.seed, "data", kind, total, sorted(overrides.items())))
+
+
+def _workload(dataset: Dataset, scale: FigureScale, dimension: int,
+              selectivity: float, range_only: bool = False,
+              tag: str = "") -> list:
+    spec = WorkloadSpec(num_queries=scale.queries, dimension=dimension,
+                        selectivity=selectivity, range_only=range_only)
+    return random_workload(dataset.schema, spec, rng=_cell_seed(
+        scale.seed, "workload", tag, dimension, selectivity, range_only))
+
+
+def _mae(strategy: str, dataset: Dataset, queries, epsilon: float,
+         scale: FigureScale, selectivity: Optional[float],
+         *seed_parts) -> float:
+    result = evaluate_strategy(
+        strategy, dataset, queries, epsilon,
+        rng=_cell_seed(scale.seed, strategy, epsilon, *seed_parts),
+        repeats=scale.repeats, selectivity=selectivity)
+    return result.mae
+
+
+def figure1(scale: FigureScale = FigureScale(),
+            datasets: Sequence[str] = PAPER_DATASETS,
+            epsilons: Sequence[float] = (0.5, 1.0, 1.5, 2.0),
+            lambdas: Sequence[int] = (2, 4),
+            strategies: Sequence[str] = DEFAULT_STRATEGIES) -> ResultTable:
+    """Figure 1: MAE vs privacy budget ε."""
+    table = ResultTable(["dataset", "lambda", "epsilon", *strategies],
+                        title="Figure 1 — MAE vs privacy budget")
+    for kind in datasets:
+        dataset = _build_dataset(scale, kind)
+        for dim in lambdas:
+            queries = _workload(dataset, scale, dim, 0.5, tag=kind)
+            for epsilon in epsilons:
+                maes = [_mae(s, dataset, queries, epsilon, scale, 0.5,
+                             "fig1", kind, dim) for s in strategies]
+                table.add_row(kind, dim, epsilon, *maes)
+    return table
+
+
+def figure2(scale: FigureScale = FigureScale(),
+            datasets: Sequence[str] = PAPER_DATASETS,
+            selectivities: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9),
+            lambdas: Sequence[int] = (2, 4),
+            strategies: Sequence[str] = DEFAULT_STRATEGIES) -> ResultTable:
+    """Figure 2: MAE vs query selectivity ``s``.
+
+    The FELIP strategies are re-planned per selectivity (the aggregator
+    knows the workload's selectivity prior); baselines cannot use it.
+    """
+    table = ResultTable(["dataset", "lambda", "selectivity", *strategies],
+                        title="Figure 2 — MAE vs query selectivity")
+    for kind in datasets:
+        dataset = _build_dataset(scale, kind)
+        for dim in lambdas:
+            for s in selectivities:
+                queries = _workload(dataset, scale, dim, s, tag=kind)
+                maes = [_mae(name, dataset, queries, 1.0, scale, s,
+                             "fig2", kind, dim, s) for name in strategies]
+                table.add_row(kind, dim, s, *maes)
+    return table
+
+
+def figure3(scale: FigureScale = FigureScale(),
+            datasets: Sequence[str] = PAPER_DATASETS,
+            domains: Sequence[Tuple[int, int]] = ((25, 2), (50, 4),
+                                                  (100, 6), (200, 8),
+                                                  (400, 8)),
+            lambdas: Sequence[int] = (2, 4),
+            strategies: Sequence[str] = DEFAULT_STRATEGIES) -> ResultTable:
+    """Figure 3: MAE vs attribute domain size.
+
+    ``domains`` pairs a numerical domain with a categorical domain (the
+    paper sweeps numerical 25→1600 and categorical 2→8 together; the
+    default grid tops out at 400 for bench runtime — pass larger pairs to
+    reproduce the full range).
+    """
+    table = ResultTable(
+        ["dataset", "lambda", "num_domain", "cat_domain", *strategies],
+        title="Figure 3 — MAE vs attribute domain size")
+    for kind in datasets:
+        for num_domain, cat_domain in domains:
+            dataset = _build_dataset(scale, kind,
+                                     numerical_domain=num_domain,
+                                     categorical_domain=cat_domain)
+            for dim in lambdas:
+                queries = _workload(dataset, scale, dim, 0.5,
+                                    tag=f"{kind}-{num_domain}")
+                maes = [_mae(s, dataset, queries, 1.0, scale, 0.5,
+                             "fig3", kind, dim, num_domain)
+                        for s in strategies]
+                table.add_row(kind, dim, num_domain, cat_domain, *maes)
+    return table
+
+
+def figure4(scale: FigureScale = FigureScale(),
+            datasets: Sequence[str] = PAPER_DATASETS,
+            lambdas: Sequence[int] = tuple(range(2, 11)),
+            strategies: Sequence[str] = DEFAULT_STRATEGIES) -> ResultTable:
+    """Figure 4: MAE vs query dimension λ (on 10-attribute datasets)."""
+    table = ResultTable(["dataset", "lambda", *strategies],
+                        title="Figure 4 — MAE vs query dimension")
+    total = max(10, max(lambdas))
+    for kind in datasets:
+        dataset = _build_dataset(scale, kind, total=total)
+        for dim in lambdas:
+            queries = _workload(dataset, scale, dim, 0.5, tag=kind)
+            maes = [_mae(s, dataset, queries, 1.0, scale, 0.5,
+                         "fig4", kind, dim) for s in strategies]
+            table.add_row(kind, dim, *maes)
+    return table
+
+
+def figure5(scale: FigureScale = FigureScale(),
+            datasets: Sequence[str] = PAPER_DATASETS,
+            attribute_counts: Sequence[int] = (4, 6, 8, 10),
+            lambdas: Sequence[int] = (2, 4),
+            strategies: Sequence[str] = DEFAULT_STRATEGIES) -> ResultTable:
+    """Figure 5: MAE vs number of dataset attributes |A|."""
+    table = ResultTable(["dataset", "lambda", "attributes", *strategies],
+                        title="Figure 5 — MAE vs number of attributes")
+    for kind in datasets:
+        for total in attribute_counts:
+            dataset = _build_dataset(scale, kind, total=total)
+            for dim in lambdas:
+                if dim > total:
+                    continue
+                queries = _workload(dataset, scale, dim, 0.5,
+                                    tag=f"{kind}-{total}")
+                maes = [_mae(s, dataset, queries, 1.0, scale, 0.5,
+                             "fig5", kind, dim, total) for s in strategies]
+                table.add_row(kind, dim, total, *maes)
+    return table
+
+
+def figure6(scale: FigureScale = FigureScale(),
+            datasets: Sequence[str] = PAPER_DATASETS,
+            user_counts: Sequence[int] = None,
+            lambdas: Sequence[int] = (2, 4),
+            strategies: Sequence[str] = DEFAULT_STRATEGIES) -> ResultTable:
+    """Figure 6: MAE vs population size n."""
+    if user_counts is None:
+        base = scale.users
+        user_counts = (base // 4, base // 2, base, base * 2, base * 4)
+    table = ResultTable(["dataset", "lambda", "users", *strategies],
+                        title="Figure 6 — MAE vs number of users")
+    for kind in datasets:
+        for n in user_counts:
+            dataset = _build_dataset(scale, kind, n=n)
+            for dim in lambdas:
+                queries = _workload(dataset, scale, dim, 0.5,
+                                    tag=f"{kind}-{n}")
+                maes = [_mae(s, dataset, queries, 1.0, scale, 0.5,
+                             "fig6", kind, dim, n) for s in strategies]
+                table.add_row(kind, dim, n, *maes)
+    return table
+
+
+def figure7(scale: FigureScale = FigureScale(),
+            datasets: Sequence[str] = ("uniform", "normal"),
+            epsilons: Sequence[float] = (0.5, 1.0, 1.5, 2.0),
+            dimension: int = 3) -> ResultTable:
+    """Figure 7: range-only adaptive-protocol evaluation vs TDG/HDG.
+
+    Six numerical attributes, range constraints only, λ=3, s=0.5 — the
+    Section 6.3 setting. Columns pair the uniform-grid family (TDG,
+    OUG-OLH, OUG) with the hybrid family (HDG, OHG-OLH, OHG).
+    """
+    strategies = (*ADAPTIVE_UNIFORM, *ADAPTIVE_HYBRID)
+    table = ResultTable(["dataset", "epsilon", *strategies],
+                        title="Figure 7 — adaptive protocol, range-only")
+    total = max(6, dimension)
+    for kind in datasets:
+        dataset = _build_dataset(
+            scale, kind, total=total,
+            num_numerical=total, num_categorical=0)
+        queries = _workload(dataset, scale, dimension, 0.5,
+                            range_only=True, tag=f"fig7-{kind}")
+        for epsilon in epsilons:
+            maes = [_mae(s, dataset, queries, epsilon, scale, 0.5,
+                         "fig7", kind) for s in strategies]
+            table.add_row(kind, epsilon, *maes)
+    return table
+
+
+#: figure name -> callable, for the CLI and benchmarks
+ALL_FIGURES = {
+    "fig1": figure1,
+    "fig2": figure2,
+    "fig3": figure3,
+    "fig4": figure4,
+    "fig5": figure5,
+    "fig6": figure6,
+    "fig7": figure7,
+}

@@ -1,0 +1,61 @@
+"""Markdown report generation from experiment tables.
+
+Turns :class:`~repro.metrics.ResultTable` objects into a single Markdown
+document — the machine-written counterpart of EXPERIMENTS.md, for archiving
+a run's exact numbers alongside its configuration.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Union
+
+from repro.experiments.scenario import FigureScale
+from repro.metrics import ResultTable
+
+
+def table_to_markdown(table: ResultTable) -> str:
+    """One table as GitHub-flavored Markdown."""
+    lines = []
+    if table.title:
+        lines.append(f"### {table.title}")
+        lines.append("")
+    lines.append("| " + " | ".join(table.columns) + " |")
+    lines.append("|" + "|".join("---" for _ in table.columns) + "|")
+    for row in table.rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def build_report(tables: Iterable[ResultTable],
+                 scale: Optional[FigureScale] = None,
+                 title: str = "FELIP evaluation run") -> str:
+    """Assemble a full Markdown report from experiment tables."""
+    parts = [f"# {title}", ""]
+    if scale is not None:
+        parts.extend([
+            "Configuration:",
+            "",
+            f"* users: {scale.users}",
+            f"* queries per workload: {scale.queries}",
+            f"* repeats per cell: {scale.repeats}",
+            f"* numerical domain: {scale.numerical_domain}",
+            f"* categorical domain: {scale.categorical_domain}",
+            f"* seed: {scale.seed}",
+            "",
+        ])
+    for table in tables:
+        parts.append(table_to_markdown(table))
+        parts.append("")
+    return "\n".join(parts)
+
+
+def write_report(tables: Iterable[ResultTable],
+                 path: Union[str, Path],
+                 scale: Optional[FigureScale] = None,
+                 title: str = "FELIP evaluation run") -> Path:
+    """Write the Markdown report to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(build_report(tables, scale=scale, title=title))
+    return path

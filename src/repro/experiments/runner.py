@@ -1,0 +1,108 @@
+"""Strategy registry and single-run evaluation.
+
+A *strategy* is anything with ``fit(dataset, rng)`` and
+``answer_workload(queries)``; the registry builds each of the paper's seven
+by name. :func:`evaluate_strategy` runs one (strategy, dataset, workload)
+cell and reports the MAE the figures plot.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.baselines import HDG, HIO, TDG
+from repro.core.felip import Felip
+from repro.data.dataset import Dataset
+from repro.errors import ConfigurationError
+from repro.metrics import mae
+from repro.queries.query import Query, true_answers
+from repro.rng import RngLike, ensure_rng
+from repro.schema import Schema
+
+def _felip_kwargs(selectivity):
+    return {} if selectivity is None else {
+        "expected_selectivity": selectivity}
+
+
+_BUILDERS: Dict[str, Callable] = {
+    "oug": lambda schema, eps, sel: Felip.oug(
+        schema, epsilon=eps, **_felip_kwargs(sel)),
+    "ohg": lambda schema, eps, sel: Felip.ohg(
+        schema, epsilon=eps, **_felip_kwargs(sel)),
+    "oug-olh": lambda schema, eps, sel: Felip.oug_olh(
+        schema, epsilon=eps, **_felip_kwargs(sel)),
+    "ohg-olh": lambda schema, eps, sel: Felip.ohg_olh(
+        schema, epsilon=eps, **_felip_kwargs(sel)),
+    # HIO has no selectivity prior; TDG/HDG hard-code 0.5 by design.
+    "hio": lambda schema, eps, sel: HIO(schema, epsilon=eps),
+    "tdg": lambda schema, eps, sel: TDG(schema, epsilon=eps),
+    "hdg": lambda schema, eps, sel: HDG(schema, epsilon=eps),
+}
+
+STRATEGY_NAMES = tuple(sorted(_BUILDERS))
+
+
+def make_strategy(name: str, schema: Schema, epsilon: float,
+                  selectivity: float = None):
+    """Instantiate a strategy by its registry name.
+
+    ``selectivity`` is the aggregator's prior handed to the FELIP variants
+    (the paper's "incorporate knowledge of query selectivity"); baselines
+    that cannot use it ignore it.
+    """
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown strategy {name!r}; expected one of {STRATEGY_NAMES}"
+        ) from None
+    return builder(schema, epsilon, selectivity)
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one strategy on one dataset/workload."""
+
+    strategy: str
+    epsilon: float
+    mae: float
+    estimates: np.ndarray
+    truths: np.ndarray
+    fit_seconds: float
+    answer_seconds: float
+
+
+def evaluate_strategy(name: str, dataset: Dataset,
+                      queries: Sequence[Query], epsilon: float,
+                      rng: RngLike = None, repeats: int = 1,
+                      selectivity: float = None) -> RunResult:
+    """Fit and evaluate one strategy; MAE is averaged over ``repeats``.
+
+    Repeats redraw the collection randomness (not the dataset or the
+    workload), matching how the paper averages out protocol noise.
+    """
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    rng = ensure_rng(rng)
+    truths = true_answers(queries, dataset)
+    maes: List[float] = []
+    last_estimates = truths
+    fit_seconds = answer_seconds = 0.0
+    for _ in range(repeats):
+        model = make_strategy(name, dataset.schema, epsilon, selectivity)
+        start = time.perf_counter()
+        model.fit(dataset, rng)
+        fit_seconds += time.perf_counter() - start
+        start = time.perf_counter()
+        estimates = model.answer_workload(queries)
+        answer_seconds += time.perf_counter() - start
+        maes.append(mae(estimates, truths))
+        last_estimates = estimates
+    return RunResult(strategy=name, epsilon=epsilon,
+                     mae=float(np.mean(maes)), estimates=last_estimates,
+                     truths=truths, fit_seconds=fit_seconds / repeats,
+                     answer_seconds=answer_seconds / repeats)

@@ -1,0 +1,140 @@
+"""Experiment scenario descriptions: datasets and evaluation scale.
+
+The paper evaluates four datasets (Uniform, Normal, IPUMS, Loan) across six
+parameter sweeps (Section 6.2) plus a range-only adaptive comparison
+(Section 6.3). :class:`DatasetSpec` names one dataset configuration;
+:class:`FigureScale` bundles the knobs that shrink the sweeps to laptop
+scale without changing their shape (population, workload size, repeats).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.data import (
+    Dataset,
+    ipums_like_dataset,
+    loan_like_dataset,
+    normal_dataset,
+    uniform_dataset,
+    zipf_dataset,
+)
+from repro.errors import ConfigurationError
+from repro.rng import RngLike
+
+#: the paper's four evaluation datasets
+PAPER_DATASETS = ("uniform", "normal", "ipums", "loan")
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A named dataset configuration.
+
+    ``kind`` is one of ``uniform``, ``normal``, ``zipf`` (synthetic with
+    configurable attribute mix) or ``ipums`` / ``loan`` (fixed 5+5 schema
+    with configurable numerical domain).
+    """
+
+    kind: str
+    n: int
+    num_numerical: int = 3
+    num_categorical: int = 3
+    numerical_domain: int = 100
+    categorical_domain: int = 8
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("uniform", "normal", "zipf", "ipums", "loan"):
+            raise ConfigurationError(f"unknown dataset kind {self.kind!r}")
+        if self.n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {self.n}")
+
+    def build(self, rng: RngLike = None) -> Dataset:
+        """Materialize the dataset."""
+        if self.kind == "uniform":
+            return uniform_dataset(
+                self.n, self.num_numerical, self.num_categorical,
+                self.numerical_domain, self.categorical_domain, rng)
+        if self.kind == "normal":
+            return normal_dataset(
+                self.n, self.num_numerical, self.num_categorical,
+                self.numerical_domain, self.categorical_domain, rng)
+        if self.kind == "zipf":
+            return zipf_dataset(
+                self.n, self.num_numerical, self.num_categorical,
+                self.numerical_domain, self.categorical_domain, rng=rng)
+        if self.kind == "ipums":
+            return ipums_like_dataset(self.n, self.numerical_domain, rng)
+        return loan_like_dataset(self.n, self.numerical_domain, rng)
+
+    def with_attributes(self, total: int) -> "DatasetSpec":
+        """Spec with ``total`` attributes.
+
+        Synthetic kinds split them between numerical (ceil) and categorical
+        (floor); the real-data substitutes keep their 10-attribute schema
+        and are projected after building (see :meth:`build_projected`).
+        """
+        if total < 2:
+            raise ConfigurationError(f"need >= 2 attributes, got {total}")
+        if self.kind in ("ipums", "loan"):
+            return self
+        if self.num_numerical + self.num_categorical == total:
+            return self
+        num = (total + 1) // 2
+        return replace(self, num_numerical=num, num_categorical=total - num)
+
+    def build_projected(self, total: int, rng: RngLike = None) -> Dataset:
+        """Build and, for fixed-schema kinds, project to ``total`` attributes
+        (alternating numerical and categorical to keep the mix)."""
+        spec = self.with_attributes(total)
+        dataset = spec.build(rng)
+        if len(dataset.schema) == total:
+            return dataset
+        numerical = [dataset.schema[i].name
+                     for i in dataset.schema.numerical_indices]
+        categorical = [dataset.schema[i].name
+                       for i in dataset.schema.categorical_indices]
+        chosen: List[str] = []
+        while len(chosen) < total:
+            if numerical:
+                chosen.append(numerical.pop(0))
+            if len(chosen) < total and categorical:
+                chosen.append(categorical.pop(0))
+        return dataset.project(chosen)
+
+
+@dataclass(frozen=True)
+class FigureScale:
+    """Laptop-scale knobs shared by all figure experiments.
+
+    The paper's defaults are ``users=10**6``, ``queries=10``,
+    ``numerical_domain=100``; benchmarks shrink ``users`` (and the largest
+    sweep points) so every figure regenerates in minutes. Shapes and
+    orderings are preserved — see EXPERIMENTS.md.
+    """
+
+    users: int = 60_000
+    queries: int = 10
+    repeats: int = 1
+    numerical_domain: int = 64
+    categorical_domain: int = 8
+    num_numerical: int = 3
+    num_categorical: int = 3
+    seed: int = 2023
+
+    def __post_init__(self) -> None:
+        if self.users < 1 or self.queries < 1 or self.repeats < 1:
+            raise ConfigurationError(
+                "users, queries and repeats must all be >= 1")
+
+    def dataset_spec(self, kind: str, **overrides) -> DatasetSpec:
+        """Spec for one of the paper's datasets at this scale."""
+        base = dict(
+            kind=kind, n=self.users,
+            num_numerical=self.num_numerical,
+            num_categorical=self.num_categorical,
+            numerical_domain=self.numerical_domain,
+            categorical_domain=self.categorical_domain,
+        )
+        base.update(overrides)
+        return DatasetSpec(**base)

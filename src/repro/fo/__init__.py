@@ -1,0 +1,39 @@
+"""Frequency oracles: the LDP primitives FELIP builds on.
+
+A frequency oracle (FO) is a pair of algorithms (paper, Section 2.2): a
+client-side randomizer Ψ and a server-side estimator Φ. This package
+implements GRR and OLH (the two protocols FELIP adaptively selects between),
+OUE as an extension, the analytic variance formulas that drive grid sizing,
+and the adaptive chooser itself.
+"""
+
+from repro.fo.base import FrequencyOracle
+from repro.fo.grr import GeneralizedRandomizedResponse
+from repro.fo.olh import OptimizedLocalHashing
+from repro.fo.oue import OptimizedUnaryEncoding
+from repro.fo.square_wave import SquareWave, optimal_wave_width
+from repro.fo.sue import SymmetricUnaryEncoding, sue_variance
+from repro.fo.he import (
+    SummationHistogramEncoding,
+    ThresholdHistogramEncoding,
+)
+from repro.fo.adaptive import choose_protocol, make_oracle
+from repro.fo.variance import grr_variance, olh_variance, oue_variance
+
+__all__ = [
+    "FrequencyOracle",
+    "GeneralizedRandomizedResponse",
+    "OptimizedLocalHashing",
+    "OptimizedUnaryEncoding",
+    "SymmetricUnaryEncoding",
+    "SummationHistogramEncoding",
+    "ThresholdHistogramEncoding",
+    "SquareWave",
+    "optimal_wave_width",
+    "choose_protocol",
+    "make_oracle",
+    "grr_variance",
+    "olh_variance",
+    "oue_variance",
+    "sue_variance",
+]

@@ -1,0 +1,60 @@
+"""Adaptive frequency oracle (paper, Section 5.3).
+
+For a grid with ``L`` cells, AFO reports with whichever of GRR / OLH has the
+lower variance (paper Eq. 13):
+
+    Var[Φ_AFO] = min( (e^ε + L − 2), 4 e^ε ) / (e^ε − 1)² · m/n
+
+GRR's variance grows linearly in ``L`` while OLH's is constant, so GRR wins
+exactly when ``L − 2 ≤ 3 e^ε`` — small grids and/or generous budgets.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.errors import ConfigurationError
+from repro.fo.base import FrequencyOracle
+from repro.fo.grr import GeneralizedRandomizedResponse
+from repro.fo.he import (
+    SummationHistogramEncoding,
+    ThresholdHistogramEncoding,
+)
+from repro.fo.olh import OptimizedLocalHashing
+from repro.fo.oue import OptimizedUnaryEncoding
+from repro.fo.square_wave import SquareWave
+from repro.fo.sue import SymmetricUnaryEncoding
+from repro.fo.variance import grr_beats_olh
+
+_PROTOCOLS = {
+    "grr": GeneralizedRandomizedResponse,
+    "olh": OptimizedLocalHashing,
+    "oue": OptimizedUnaryEncoding,
+    "sue": SymmetricUnaryEncoding,
+    "she": SummationHistogramEncoding,
+    "the": ThresholdHistogramEncoding,
+    "sw": SquareWave,
+}
+
+
+def choose_protocol(epsilon: float, domain_size: int) -> str:
+    """Eq. 13: the lower-variance protocol name for this (ε, L)."""
+    return "grr" if grr_beats_olh(epsilon, domain_size) else "olh"
+
+
+def make_oracle(protocol: str, epsilon: float,
+                domain_size: int) -> FrequencyOracle:
+    """Instantiate an oracle by name (``grr`` / ``olh`` / ``oue``).
+
+    ``protocol="adaptive"`` applies :func:`choose_protocol` first.
+    """
+    if protocol == "adaptive":
+        protocol = choose_protocol(epsilon, domain_size)
+    try:
+        cls = _PROTOCOLS[protocol]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown protocol {protocol!r}; expected one of "
+            f"{sorted(_PROTOCOLS)} or 'adaptive'"
+        ) from None
+    return cls(epsilon, domain_size)

@@ -1,0 +1,82 @@
+"""Frequency-oracle interface.
+
+Every oracle exposes the client/server split of the paper's (Ψ, Φ) pair:
+
+* :meth:`FrequencyOracle.perturb` — Ψ, run once per user on their private
+  value. Simulated in a vectorized batch, but each row uses independent
+  randomness, so the output is distributionally identical to n independent
+  clients.
+* :meth:`FrequencyOracle.estimate` — Φ, run by the aggregator over all
+  reports; returns the unbiased frequency estimate of every domain value.
+
+Estimates are raw (possibly negative, not summing to one); post-processing
+is a separate stage (:mod:`repro.postprocess`), as in the paper.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+import numpy as np
+
+from repro.errors import PrivacyError, ProtocolError
+from repro.rng import RngLike, ensure_rng
+
+
+def validate_epsilon(epsilon: float) -> float:
+    """Validate a privacy budget; returns it as ``float``."""
+    epsilon = float(epsilon)
+    if not np.isfinite(epsilon) or epsilon <= 0.0:
+        raise PrivacyError(f"epsilon must be positive and finite, "
+                           f"got {epsilon}")
+    return epsilon
+
+
+class FrequencyOracle(ABC):
+    """Abstract ε-LDP frequency oracle over the domain ``{0..d-1}``."""
+
+    #: short protocol identifier ("grr", "olh", "oue")
+    name: str = ""
+
+    def __init__(self, epsilon: float, domain_size: int):
+        self.epsilon = validate_epsilon(epsilon)
+        if domain_size < 2:
+            raise ProtocolError(
+                f"domain_size must be >= 2, got {domain_size}"
+            )
+        self.domain_size = int(domain_size)
+
+    def _check_values(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values)
+        if values.ndim != 1:
+            raise ProtocolError(
+                f"values must be a 1-D array, got shape {values.shape}"
+            )
+        if values.size and (values.min() < 0
+                            or values.max() >= self.domain_size):
+            raise ProtocolError(
+                f"values outside domain [0, {self.domain_size})"
+            )
+        return values.astype(np.int64, copy=False)
+
+    @abstractmethod
+    def perturb(self, values: np.ndarray, rng: RngLike = None) -> Any:
+        """Ψ: perturb one private value per user; returns a report batch."""
+
+    @abstractmethod
+    def estimate(self, report: Any) -> np.ndarray:
+        """Φ: unbiased frequency estimates (length ``domain_size``)."""
+
+    @abstractmethod
+    def theoretical_variance(self, n: int) -> float:
+        """Analytic per-value estimation variance with ``n`` reports."""
+
+    def run(self, values: np.ndarray, rng: RngLike = None) -> np.ndarray:
+        """Convenience: perturb then estimate in one call."""
+        rng = ensure_rng(rng)
+        return self.estimate(self.perturb(values, rng))
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}(epsilon={self.epsilon}, "
+                f"domain_size={self.domain_size})")

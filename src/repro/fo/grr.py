@@ -1,0 +1,70 @@
+"""Generalized Randomized Response (paper, Section 2.2.1).
+
+Each user reports their true value with probability
+``p = e^ε / (e^ε + d − 1)`` and otherwise a uniformly random *other* value.
+The ratio ``p/q = e^ε`` for any pair of outputs, so GRR satisfies ε-LDP.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fo.base import FrequencyOracle
+from repro.fo.variance import grr_variance
+from repro.errors import ProtocolError
+from repro.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class GRRReport:
+    """Batch of GRR reports: one perturbed value per user."""
+
+    values: np.ndarray
+    domain_size: int
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+class GeneralizedRandomizedResponse(FrequencyOracle):
+    """GRR frequency oracle over ``{0..d-1}``."""
+
+    name = "grr"
+
+    def __init__(self, epsilon: float, domain_size: int):
+        super().__init__(epsilon, domain_size)
+        e = math.exp(self.epsilon)
+        self.p = e / (e + self.domain_size - 1)
+        self.q = 1.0 / (e + self.domain_size - 1)
+
+    def perturb(self, values: np.ndarray, rng: RngLike = None) -> GRRReport:
+        """Ψ_GRR: keep with probability ``p``, else uniform other value."""
+        values = self._check_values(values)
+        rng = ensure_rng(rng)
+        n = len(values)
+        keep = rng.random(n) < self.p
+        # A uniform draw over the d-1 "other" values: draw from [0, d-1)
+        # and skip past the true value.
+        others = rng.integers(0, self.domain_size - 1, size=n)
+        others = others + (others >= values)
+        return GRRReport(values=np.where(keep, values, others),
+                         domain_size=self.domain_size)
+
+    def estimate(self, report: GRRReport) -> np.ndarray:
+        """Φ_GRR (paper Eq. 1): unbias the observed value counts."""
+        if report.domain_size != self.domain_size:
+            raise ProtocolError(
+                f"report domain {report.domain_size} != oracle domain "
+                f"{self.domain_size}"
+            )
+        n = len(report)
+        if n == 0:
+            raise ProtocolError("cannot estimate from zero reports")
+        counts = np.bincount(report.values, minlength=self.domain_size)
+        return (counts / n - self.q) / (self.p - self.q)
+
+    def theoretical_variance(self, n: int) -> float:
+        return grr_variance(self.epsilon, self.domain_size, n)

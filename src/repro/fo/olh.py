@@ -1,0 +1,104 @@
+"""Optimized Local Hashing (paper, Section 2.2.2; Wang et al. USENIX'17).
+
+Each user hashes their value into a small range ``g = ⌈e^ε⌉ + 1`` with a
+private random hash function, then GRR-perturbs the hashed value with budget
+ε over the domain ``{0..g-1}``. The aggregator counts, for every domain
+value ``v``, the reports that *support* ``v`` (their hash of ``v`` equals the
+reported bucket), then unbiases the support count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ProtocolError
+from repro.fo.base import FrequencyOracle
+from repro.fo.hashing import chain_hash, random_seeds
+from repro.fo.variance import olh_variance
+from repro.rng import RngLike, ensure_rng
+
+
+def optimal_hash_range(epsilon: float) -> int:
+    """``g`` minimizing OLH variance: ``⌈e^ε⌉ + 1``, at least 2."""
+    return max(2, int(math.ceil(math.exp(epsilon))) + 1)
+
+
+@dataclass(frozen=True)
+class OLHReport:
+    """Batch of OLH reports: per-user hash seed and perturbed bucket."""
+
+    seeds: np.ndarray
+    buckets: np.ndarray
+    hash_range: int
+    domain_size: int
+
+    def __post_init__(self) -> None:
+        if len(self.seeds) != len(self.buckets):
+            raise ProtocolError(
+                f"{len(self.seeds)} seeds vs {len(self.buckets)} buckets"
+            )
+
+    def __len__(self) -> int:
+        return len(self.seeds)
+
+
+class OptimizedLocalHashing(FrequencyOracle):
+    """OLH frequency oracle over ``{0..d-1}``."""
+
+    name = "olh"
+
+    def __init__(self, epsilon: float, domain_size: int,
+                 hash_range: int = None):
+        super().__init__(epsilon, domain_size)
+        self.g = hash_range or optimal_hash_range(self.epsilon)
+        if self.g < 2:
+            raise ProtocolError(f"hash range must be >= 2, got {self.g}")
+        e = math.exp(self.epsilon)
+        self.p = e / (e + self.g - 1)
+        self.q = 1.0 / (e + self.g - 1)
+
+    def perturb(self, values: np.ndarray, rng: RngLike = None) -> OLHReport:
+        """Ψ_OLH: hash to ``[0, g)``, then GRR-perturb the bucket."""
+        values = self._check_values(values)
+        rng = ensure_rng(rng)
+        n = len(values)
+        seeds = random_seeds(n, rng)
+        hashed = chain_hash(seeds, [values], self.g).astype(np.int64)
+        keep = rng.random(n) < self.p
+        others = rng.integers(0, self.g - 1, size=n)
+        others = others + (others >= hashed)
+        return OLHReport(seeds=seeds,
+                         buckets=np.where(keep, hashed, others),
+                         hash_range=self.g, domain_size=self.domain_size)
+
+    def support_counts(self, report: OLHReport) -> np.ndarray:
+        """``C(v)`` for every ``v``: reports whose hash of ``v`` matches."""
+        counts = np.empty(self.domain_size, dtype=np.int64)
+        for v in range(self.domain_size):
+            hashed_v = chain_hash(report.seeds, [v], self.g)
+            counts[v] = int(np.count_nonzero(
+                hashed_v == report.buckets.astype(np.uint64)))
+        return counts
+
+    def estimate(self, report: OLHReport) -> np.ndarray:
+        """Φ_OLH: unbias the support counts."""
+        if report.domain_size != self.domain_size:
+            raise ProtocolError(
+                f"report domain {report.domain_size} != oracle domain "
+                f"{self.domain_size}"
+            )
+        if report.hash_range != self.g:
+            raise ProtocolError(
+                f"report hash range {report.hash_range} != oracle's {self.g}"
+            )
+        n = len(report)
+        if n == 0:
+            raise ProtocolError("cannot estimate from zero reports")
+        counts = self.support_counts(report)
+        return (counts / n - 1.0 / self.g) / (self.p - 1.0 / self.g)
+
+    def theoretical_variance(self, n: int) -> float:
+        return olh_variance(self.epsilon, n)

@@ -1,0 +1,55 @@
+"""Analytic variances of the frequency oracles (paper, Section 2.2).
+
+These formulas drive both grid sizing (Section 5.2) and the adaptive
+protocol choice (Section 5.3, Eq. 13). All return the variance of a single
+value's frequency estimate from ``n`` reports; with population partitioning
+into ``m`` groups, callers pass ``n / m`` (or multiply by ``m/n``).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import PrivacyError, ProtocolError
+
+
+def _check(epsilon: float, n: int) -> None:
+    if epsilon <= 0:
+        raise PrivacyError(f"epsilon must be positive, got {epsilon}")
+    if n < 1:
+        raise ProtocolError(f"n must be >= 1, got {n}")
+
+
+def grr_variance(epsilon: float, domain_size: int, n: int = 1) -> float:
+    """GRR: ``(e^ε + d − 2) / (n (e^ε − 1)²)`` (paper Eq. 2).
+
+    Linear in the domain size — GRR degrades on large domains.
+    """
+    _check(epsilon, n)
+    if domain_size < 2:
+        raise ProtocolError(f"domain_size must be >= 2, got {domain_size}")
+    e = math.exp(epsilon)
+    return (e + domain_size - 2) / (n * (e - 1) ** 2)
+
+
+def olh_variance(epsilon: float, n: int = 1) -> float:
+    """OLH: ``4 e^ε / (n (e^ε − 1)²)`` — independent of the domain size."""
+    _check(epsilon, n)
+    e = math.exp(epsilon)
+    return 4.0 * e / (n * (e - 1) ** 2)
+
+
+def oue_variance(epsilon: float, n: int = 1) -> float:
+    """OUE: ``4 e^ε / (n (e^ε − 1)²)`` — same leading term as OLH."""
+    return olh_variance(epsilon, n)
+
+
+def grr_beats_olh(epsilon: float, domain_size: int) -> bool:
+    """True when GRR's variance is at most OLH's for this (ε, d).
+
+    Equivalent to ``d − 2 ≤ 3 e^ε``: GRR wins on small domains / large
+    budgets, OLH on large domains — the heart of the adaptive FO (Eq. 13).
+    """
+    if domain_size < 2:
+        raise ProtocolError(f"domain_size must be >= 2, got {domain_size}")
+    return grr_variance(epsilon, domain_size) <= olh_variance(epsilon)

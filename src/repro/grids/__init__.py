@@ -1,0 +1,38 @@
+"""Grids: binned 1-D and 2-D views of attribute domains.
+
+FELIP collects user reports on grids — binnings of one attribute (1-D) or
+one attribute pair (2-D). This package provides the binning primitive (with
+near-equal but *not necessarily equal* cell widths, FELIP's answer to
+TDG/HDG's divisibility constraint), the grid specifications, and the
+error-model-driven optimal sizing of Section 5.2.
+"""
+
+from repro.grids.binning import Binning
+from repro.grids.grid import Grid1D, Grid2D, GridEstimate
+from repro.grids.sizing import (
+    GridPlanning,
+    SizingParams,
+    error_1d_numerical,
+    error_2d_num_cat,
+    error_2d_numerical,
+    optimal_size_1d_numerical,
+    optimal_size_2d_num_cat,
+    optimal_size_2d_numerical,
+    plan_grid,
+)
+
+__all__ = [
+    "Binning",
+    "Grid1D",
+    "Grid2D",
+    "GridEstimate",
+    "SizingParams",
+    "GridPlanning",
+    "error_1d_numerical",
+    "error_2d_numerical",
+    "error_2d_num_cat",
+    "optimal_size_1d_numerical",
+    "optimal_size_2d_numerical",
+    "optimal_size_2d_num_cat",
+    "plan_grid",
+]

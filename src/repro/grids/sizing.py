@@ -1,0 +1,343 @@
+"""Optimal grid sizing (paper, Section 5.2).
+
+Each grid's predicted squared error is the sum of a *noise-and-sampling*
+term (grows with cell count: more cells inside the query rectangle, each
+carrying independent LDP noise) and a *non-uniformity* term (shrinks with
+cell count: finer cells mean less mass misattributed by the within-cell
+uniformity assumption). The optimum balances the two, and depends on the
+grid type, the protocol, the query selectivity ``r``, the budget ε, the
+population ``n`` and the group count ``m``.
+
+Closed forms exist for the OLH cases (paper Eq. 5 and the numeric x
+categorical analogue); the GRR cases and the numeric x numeric system are
+solved by bisection on the (monotone) stationarity conditions, per the
+paper. Continuous optima are then refined over neighboring integers against
+the exact objective, since granularities are integer cell counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, GridError
+from repro.grids.solvers import (
+    bisect_increasing_root,
+    coordinate_descent,
+    refine_integer_1d,
+    refine_integer_2d,
+)
+
+_PROTOCOLS = ("grr", "olh")
+
+
+@dataclass(frozen=True)
+class SizingParams:
+    """Shared inputs of every sizing computation.
+
+    Attributes
+    ----------
+    epsilon:
+        Privacy budget ε (each user spends all of it on one grid).
+    n:
+        Total population size.
+    m:
+        Number of user groups (== number of grids); each grid is estimated
+        from roughly ``n / m`` reports.
+    alpha1, alpha2:
+        Non-uniformity constants for 1-D and 2-D grids (paper defaults 0.7
+        and 0.03).
+    """
+
+    epsilon: float
+    n: int
+    m: int
+    alpha1: float = 0.7
+    alpha2: float = 0.03
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise ConfigurationError(
+                f"epsilon must be positive, got {self.epsilon}")
+        if self.n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {self.n}")
+        if self.m < 1:
+            raise ConfigurationError(f"m must be >= 1, got {self.m}")
+        if self.alpha1 <= 0 or self.alpha2 <= 0:
+            raise ConfigurationError("alpha constants must be positive")
+
+    @property
+    def cell_variance_olh(self) -> float:
+        """Per-cell OLH variance with population partitioning: 4me^ε/n(e^ε−1)²."""
+        e = math.exp(self.epsilon)
+        return 4.0 * e * self.m / (self.n * (e - 1) ** 2)
+
+    def cell_variance_grr(self, num_cells: int) -> float:
+        """Per-cell GRR variance for an ``L``-cell grid: m(e^ε+L−2)/n(e^ε−1)²."""
+        e = math.exp(self.epsilon)
+        return (self.m * (e + max(num_cells, 1) - 2)
+                / (self.n * (e - 1) ** 2))
+
+    def cell_variance(self, protocol: str, num_cells: int) -> float:
+        """Per-cell variance of ``protocol`` on an ``L``-cell grid.
+
+        OUE shares OLH's variance, so the two are one class here.
+        """
+        if protocol in ("olh", "oue", "sw", "ahead"):
+            # sw/ahead: no closed form; OLH's variance is the proxy.
+            return self.cell_variance_olh
+        if protocol == "grr":
+            return self.cell_variance_grr(num_cells)
+        raise ConfigurationError(f"unknown protocol {protocol!r}")
+
+
+def variance_class(protocol: str) -> str:
+    """Map a protocol to its variance class (``oue`` behaves like ``olh``)."""
+    if protocol in ("olh", "oue", "sw", "ahead"):
+        return "olh"
+    if protocol == "grr":
+        return "grr"
+    raise ConfigurationError(f"unknown protocol {protocol!r}")
+
+
+def _check_selectivity(r: float, name: str = "selectivity") -> float:
+    r = float(r)
+    if not 0.0 < r <= 1.0:
+        raise GridError(f"{name} must be in (0, 1], got {r}")
+    return r
+
+
+# ---------------------------------------------------------------------------
+# Predicted-error objectives (paper Eqs. 3, 4, 9, 10, 11, 12)
+# ---------------------------------------------------------------------------
+
+def error_1d_numerical(l: float, r: float, params: SizingParams,
+                       protocol: str) -> float:
+    """Total predicted squared error of a 1-D numerical grid with l cells."""
+    nonuni = (params.alpha1 / l) ** 2
+    noise = l * r * params.cell_variance(protocol, int(round(l)))
+    return nonuni + noise
+
+
+def error_1d_categorical(d: int, r: float, params: SizingParams,
+                         protocol: str) -> float:
+    """1-D categorical grid: pure noise, cell count fixed at the domain."""
+    return d * r * params.cell_variance(protocol, d)
+
+
+def error_2d_numerical(lx: float, ly: float, rx: float, ry: float,
+                       params: SizingParams, protocol: str) -> float:
+    """numeric x numeric 2-D grid error (paper Eqs. 9 / 10)."""
+    nonuni = (2.0 * params.alpha2 * (lx * rx + ly * ry) / (lx * ly)) ** 2
+    noise = (lx * rx * ly * ry
+             * params.cell_variance(protocol, int(round(lx * ly))))
+    return nonuni + noise
+
+
+def error_2d_num_cat(lx: float, ly: int, rx: float, ry: float,
+                     params: SizingParams, protocol: str) -> float:
+    """numeric(x) x categorical(y) grid error (paper Eqs. 11 / 12)."""
+    nonuni = (2.0 * params.alpha2 * ry / lx) ** 2
+    noise = (lx * rx * ly * ry
+             * params.cell_variance(protocol, int(round(lx * ly))))
+    return nonuni + noise
+
+
+def error_2d_categorical(dx: int, dy: int, rx: float, ry: float,
+                         params: SizingParams, protocol: str) -> float:
+    """categorical x categorical grid: pure noise at the full domain product."""
+    return dx * rx * dy * ry * params.cell_variance(protocol, dx * dy)
+
+
+# ---------------------------------------------------------------------------
+# Optimal sizes
+# ---------------------------------------------------------------------------
+
+def _noise_coeff(params: SizingParams) -> Tuple[float, float]:
+    """(A, B): OLH noise coefficient, GRR base coefficient m/n(e^ε−1)²."""
+    e = math.exp(params.epsilon)
+    base = params.m / (params.n * (e - 1) ** 2)
+    return 4.0 * e * base, base
+
+
+def optimal_size_1d_numerical(d: int, r: float, params: SizingParams,
+                              protocol: str) -> Tuple[int, float]:
+    """Optimal cell count for a 1-D numerical grid; returns (l, error).
+
+    OLH: closed form (paper Eq. 5). GRR: bisection on the derivative of
+    Eq. 4, which is increasing in ``l``.
+    """
+    r = _check_selectivity(r)
+    if d < 1:
+        raise GridError(f"domain must be >= 1, got {d}")
+    if d == 1:
+        return 1, 0.0
+    a1, eps = params.alpha1, params.epsilon
+    e = math.exp(eps)
+    A, B = _noise_coeff(params)
+
+    if variance_class(protocol) == "olh":
+        continuous = ((params.n * a1 ** 2 * (e - 1) ** 2)
+                      / (2.0 * params.m * r * e)) ** (1.0 / 3.0)
+    else:
+        def derivative(l: float) -> float:
+            return (-2.0 * a1 ** 2 / l ** 3
+                    + r * B * (e - 2.0 + 2.0 * l))
+        continuous = bisect_increasing_root(derivative, 1.0, float(d))
+
+    continuous = min(max(continuous, 2.0), float(d))
+    return refine_integer_1d(
+        lambda l: error_1d_numerical(l, r, params, protocol),
+        continuous, 2, d)
+
+
+def optimal_size_2d_numerical(dx: int, dy: int, rx: float, ry: float,
+                              params: SizingParams,
+                              protocol: str) -> Tuple[int, int, float]:
+    """Optimal (l_x, l_y) for a numeric x numeric grid; returns errors too.
+
+    Solves the two coupled stationarity equations by coordinate descent,
+    each inner solve a bisection (the partial derivatives are increasing in
+    their own variable), then refines on the integer lattice.
+    """
+    rx = _check_selectivity(rx, "rx")
+    ry = _check_selectivity(ry, "ry")
+    if dx < 2 or dy < 2:
+        # Degenerate axes cannot be binned further; fall back to exact cells.
+        lx, ly = max(dx, 1), max(dy, 1)
+        return lx, ly, error_2d_numerical(lx, ly, rx, ry, params, protocol)
+    a2, eps = params.alpha2, params.epsilon
+    e = math.exp(eps)
+    A, B = _noise_coeff(params)
+    protocol_class = variance_class(protocol)
+
+    def d_dx(lx: float, ly: float) -> float:
+        nonuni = -8.0 * a2 ** 2 * ry * (lx * rx + ly * ry) / (lx ** 3 * ly)
+        if protocol_class == "olh":
+            return nonuni + A * rx * ry * ly
+        return nonuni + B * rx * ry * ly * (e - 2.0 + 2.0 * lx * ly)
+
+    def d_dy(lx: float, ly: float) -> float:
+        nonuni = -8.0 * a2 ** 2 * rx * (lx * rx + ly * ry) / (ly ** 3 * lx)
+        if protocol_class == "olh":
+            return nonuni + A * rx * ry * lx
+        return nonuni + B * rx * ry * lx * (e - 2.0 + 2.0 * lx * ly)
+
+    lx, ly = coordinate_descent(
+        solve_x=lambda y: bisect_increasing_root(
+            lambda x: d_dx(x, y), 1.0, float(dx)),
+        solve_y=lambda x: bisect_increasing_root(
+            lambda y: d_dy(x, y), 1.0, float(dy)),
+        x0=min(8.0, float(dx)), y0=min(8.0, float(dy)))
+
+    lx = min(max(lx, 2.0), float(dx))
+    ly = min(max(ly, 2.0), float(dy))
+    return refine_integer_2d(
+        lambda x, y: error_2d_numerical(x, y, rx, ry, params, protocol),
+        (lx, ly), (2, 2), (dx, dy))
+
+
+def optimal_size_2d_num_cat(d_num: int, d_cat: int, rx: float, ry: float,
+                            params: SizingParams,
+                            protocol: str) -> Tuple[int, float]:
+    """Optimal numeric-axis cell count when the y axis is categorical.
+
+    The categorical axis is fixed at ``l_y = d_cat`` (one cell per value);
+    only the numeric axis length is optimized (paper Eqs. 11 / 12).
+    Returns ``(l_x, error)``.
+    """
+    rx = _check_selectivity(rx, "rx")
+    ry = _check_selectivity(ry, "ry")
+    if d_num == 1:
+        return 1, error_2d_num_cat(1, d_cat, rx, ry, params, protocol)
+    a2, eps = params.alpha2, params.epsilon
+    e = math.exp(eps)
+    A, B = _noise_coeff(params)
+
+    if variance_class(protocol) == "olh":
+        continuous = (8.0 * a2 ** 2 * ry
+                      / (A * rx * d_cat)) ** (1.0 / 3.0)
+    else:
+        def derivative(lx: float) -> float:
+            return (-8.0 * a2 ** 2 * ry ** 2 / lx ** 3
+                    + B * rx * ry * d_cat * (e - 2.0 + 2.0 * lx * d_cat))
+        continuous = bisect_increasing_root(derivative, 1.0, float(d_num))
+
+    continuous = min(max(continuous, 2.0), float(d_num))
+    return refine_integer_1d(
+        lambda lx: error_2d_num_cat(lx, d_cat, rx, ry, params, protocol),
+        continuous, 2, d_num)
+
+
+# ---------------------------------------------------------------------------
+# Per-grid planning (size + adaptive protocol choice, Section 5.3)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GridPlanning:
+    """A sized grid with its chosen protocol and predicted error.
+
+    ``ly`` is ``None`` for 1-D grids.
+    """
+
+    lx: int
+    ly: Optional[int]
+    protocol: str
+    predicted_error: float
+
+    @property
+    def num_cells(self) -> int:
+        return self.lx if self.ly is None else self.lx * self.ly
+
+
+def plan_grid(domain_x: int, numerical_x: bool, r_x: float,
+              params: SizingParams,
+              domain_y: Optional[int] = None,
+              numerical_y: bool = False, r_y: float = 1.0,
+              protocols: Sequence[str] = _PROTOCOLS) -> GridPlanning:
+    """Size one grid under every candidate protocol; keep the best.
+
+    This is the Adaptive Frequency Oracle applied at planning time: the
+    GRR-optimal and OLH-optimal sizes generally differ, so we compare the
+    *minimized* predicted error of each protocol and report with the winner.
+    For fixed-size (categorical) grids this reduces exactly to the paper's
+    Eq. 13 variance comparison.
+    """
+    if not protocols:
+        raise ConfigurationError("need at least one candidate protocol")
+    best: Optional[GridPlanning] = None
+    for protocol in protocols:
+        if domain_y is None:
+            if numerical_x:
+                lx, err = optimal_size_1d_numerical(domain_x, r_x, params,
+                                                    protocol)
+            else:
+                lx, err = domain_x, error_1d_categorical(domain_x, r_x,
+                                                         params, protocol)
+            candidate = GridPlanning(lx=lx, ly=None, protocol=protocol,
+                                     predicted_error=err)
+        elif numerical_x and numerical_y:
+            lx, ly, err = optimal_size_2d_numerical(domain_x, domain_y,
+                                                    r_x, r_y, params,
+                                                    protocol)
+            candidate = GridPlanning(lx=lx, ly=ly, protocol=protocol,
+                                     predicted_error=err)
+        elif numerical_x and not numerical_y:
+            lx, err = optimal_size_2d_num_cat(domain_x, domain_y, r_x, r_y,
+                                              params, protocol)
+            candidate = GridPlanning(lx=lx, ly=domain_y, protocol=protocol,
+                                     predicted_error=err)
+        elif not numerical_x and numerical_y:
+            ly, err = optimal_size_2d_num_cat(domain_y, domain_x, r_y, r_x,
+                                              params, protocol)
+            candidate = GridPlanning(lx=domain_x, ly=ly, protocol=protocol,
+                                     predicted_error=err)
+        else:
+            err = error_2d_categorical(domain_x, domain_y, r_x, r_y,
+                                       params, protocol)
+            candidate = GridPlanning(lx=domain_x, ly=domain_y,
+                                     protocol=protocol, predicted_error=err)
+        if best is None or candidate.predicted_error < best.predicted_error:
+            best = candidate
+    return best

@@ -1,0 +1,105 @@
+"""Numeric solvers used by grid sizing.
+
+The paper minimizes each grid's predicted error by zeroing its derivative
+"using the bisection method in all scenarios" (Section 5.2). Every
+derivative involved is monotonically increasing in the variable being
+solved, so plain bisection on a sign change is exact and robust. After the
+continuous optimum we refine over neighboring integers against the actual
+objective, since granularities are integer cell counts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+from repro.errors import GridError
+
+
+def bisect_increasing_root(fn: Callable[[float], float], lo: float,
+                           hi: float, tol: float = 1e-10,
+                           max_iter: int = 200) -> float:
+    """Root of an increasing function on ``[lo, hi]``.
+
+    If ``fn`` has no sign change on the interval the nearer endpoint is
+    returned (the constrained optimum sits on the boundary).
+    """
+    if lo > hi:
+        raise GridError(f"empty bracket [{lo}, {hi}]")
+    f_lo, f_hi = fn(lo), fn(hi)
+    if f_lo >= 0.0:
+        return lo
+    if f_hi <= 0.0:
+        return hi
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        if hi - lo < tol:
+            return mid
+        if fn(mid) < 0.0:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def refine_integer_1d(objective: Callable[[int], float], continuous: float,
+                      lo: int, hi: int) -> Tuple[int, float]:
+    """Best integer near ``continuous`` by direct objective evaluation.
+
+    Checks floor/ceil plus one neighbor each side, clamped to ``[lo, hi]``.
+    Returns ``(argmin, objective(argmin))``.
+    """
+    if lo > hi:
+        raise GridError(f"empty integer range [{lo}, {hi}]")
+    center = int(round(continuous))
+    candidates = {max(lo, min(hi, c))
+                  for c in (center - 1, center, center + 1)}
+    best = min(candidates, key=objective)
+    return best, objective(best)
+
+
+def refine_integer_2d(objective: Callable[[int, int], float],
+                      continuous: Tuple[float, float],
+                      lo: Tuple[int, int],
+                      hi: Tuple[int, int]) -> Tuple[int, int, float]:
+    """2-D integer refinement: local search on the 3x3 neighborhood.
+
+    Greedy hill descent from the rounded continuous optimum; the objectives
+    here are unimodal along axes, so a short local search suffices.
+    """
+    cx = max(lo[0], min(hi[0], int(round(continuous[0]))))
+    cy = max(lo[1], min(hi[1], int(round(continuous[1]))))
+    best = (cx, cy)
+    best_val = objective(cx, cy)
+    for _ in range(64):
+        improved = False
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                x = max(lo[0], min(hi[0], best[0] + dx))
+                y = max(lo[1], min(hi[1], best[1] + dy))
+                val = objective(x, y)
+                if val < best_val - 1e-15:
+                    best, best_val = (x, y), val
+                    improved = True
+        if not improved:
+            break
+    return best[0], best[1], best_val
+
+
+def coordinate_descent(solve_x: Callable[[float], float],
+                       solve_y: Callable[[float], float],
+                       x0: float, y0: float, tol: float = 1e-6,
+                       max_iter: int = 100) -> Tuple[float, float]:
+    """Alternate exact 1-D solves until the point stops moving.
+
+    ``solve_x(y)`` returns the optimal x for fixed y and vice versa. Used
+    for the numeric x numeric 2-D sizing system (two coupled stationarity
+    equations).
+    """
+    x, y = x0, y0
+    for _ in range(max_iter):
+        new_x = solve_x(y)
+        new_y = solve_y(new_x)
+        if abs(new_x - x) < tol and abs(new_y - y) < tol:
+            return new_x, new_y
+        x, y = new_x, new_y
+    return x, y

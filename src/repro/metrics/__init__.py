@@ -1,0 +1,27 @@
+"""Error metrics and result-table helpers."""
+
+from repro.metrics.error import (
+    mae,
+    max_absolute_error,
+    mean_relative_error,
+    rmse,
+)
+from repro.metrics.distribution import (
+    kl_divergence,
+    marginal_report,
+    total_variation,
+    wasserstein_1d,
+)
+from repro.metrics.report import ResultTable
+
+__all__ = [
+    "mae",
+    "rmse",
+    "max_absolute_error",
+    "mean_relative_error",
+    "total_variation",
+    "kl_divergence",
+    "wasserstein_1d",
+    "marginal_report",
+    "ResultTable",
+]

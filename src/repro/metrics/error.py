@@ -1,0 +1,57 @@
+"""Scalar error measures over workload answers.
+
+The paper reports MAE (Section 6.1); RMSE, max error, and mean relative
+error are provided for richer diagnostics in benchmarks and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import EstimationError
+
+
+def _prepare(estimated: Sequence[float],
+             true: Sequence[float]) -> tuple:
+    est = np.asarray(estimated, dtype=np.float64)
+    tru = np.asarray(true, dtype=np.float64)
+    if est.shape != tru.shape:
+        raise EstimationError(
+            f"shape mismatch: estimated {est.shape} vs true {tru.shape}"
+        )
+    if est.size == 0:
+        raise EstimationError("cannot compute error over zero answers")
+    return est, tru
+
+
+def mae(estimated: Sequence[float], true: Sequence[float]) -> float:
+    """Mean Absolute Error: ``(1/|Q|) * sum |f_q - f̄_q|``."""
+    est, tru = _prepare(estimated, true)
+    return float(np.mean(np.abs(est - tru)))
+
+
+def rmse(estimated: Sequence[float], true: Sequence[float]) -> float:
+    """Root Mean Squared Error."""
+    est, tru = _prepare(estimated, true)
+    return float(np.sqrt(np.mean((est - tru) ** 2)))
+
+
+def max_absolute_error(estimated: Sequence[float],
+                       true: Sequence[float]) -> float:
+    """Worst-case absolute error over the workload."""
+    est, tru = _prepare(estimated, true)
+    return float(np.max(np.abs(est - tru)))
+
+
+def mean_relative_error(estimated: Sequence[float], true: Sequence[float],
+                        floor: float = 1e-3) -> float:
+    """Mean relative error with a denominator floor.
+
+    The floor keeps near-zero true answers (common at high λ, where queries
+    get very restrictive — paper §6.2.4) from dominating.
+    """
+    est, tru = _prepare(estimated, true)
+    denom = np.maximum(np.abs(tru), floor)
+    return float(np.mean(np.abs(est - tru) / denom))

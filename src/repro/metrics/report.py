@@ -1,0 +1,64 @@
+"""Tiny plain-text result tables for experiment/benchmark output."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+
+class ResultTable:
+    """Accumulates rows and renders them as an aligned text table.
+
+    Used by the benchmark harness to print the same series the paper's
+    figures plot (one row per x-axis point, one column per strategy).
+    """
+
+    def __init__(self, columns: Sequence[str], title: Optional[str] = None):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *values: Any, **named: Any) -> None:
+        """Append a row, positionally or by column name."""
+        if values and named:
+            raise ValueError("pass values positionally or by name, not both")
+        if named:
+            missing = [c for c in self.columns if c not in named]
+            if missing:
+                raise ValueError(f"missing columns: {missing}")
+            values = tuple(named[c] for c in self.columns)
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append([self._fmt(v) for v in values])
+
+    @staticmethod
+    def _fmt(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.6f}"
+        return str(value)
+
+    def to_dicts(self) -> List[Dict[str, str]]:
+        """Rows as dictionaries keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def render(self) -> str:
+        """Aligned text rendering (what benchmarks print)."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

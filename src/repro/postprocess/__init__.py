@@ -1,0 +1,18 @@
+"""Post-processing of estimated grids (paper, Section 5.4).
+
+Two purely post-hoc utility boosters (no privacy cost): removing negative
+estimates while re-normalizing to total mass one (Algorithm 1), and making
+grids that share an attribute agree on that attribute's coarse marginal
+(Algorithm 2). They can disturb each other, so the driver alternates them
+and always finishes with the non-negativity pass.
+"""
+
+from repro.postprocess.nonneg import normalize_non_negative
+from repro.postprocess.consistency import enforce_consistency
+from repro.postprocess.pipeline import postprocess_grids
+
+__all__ = [
+    "normalize_non_negative",
+    "enforce_consistency",
+    "postprocess_grids",
+]

@@ -1,0 +1,183 @@
+"""Algorithm 2: cross-grid consistency.
+
+Every attribute ``a`` appears in several grids (its own 1-D grid under OHG,
+plus one axis of ``k−1`` 2-D grids). Each grid carries an independent noisy
+estimate of ``a``'s marginal, and averaging them with inverse-variance
+weights strictly reduces variance (paper Section 5.4; CALM / PriView
+technique).
+
+Because FELIP's grids bin the attribute differently (and the near-equal-width
+cells of two grids do not nest), the marginals are reconciled on a *common
+partition* — the subdomains of the attribute's coarsest related binning
+(which is the 1-D grid under OHG):
+
+* ``S_j`` — grid ``j``'s mass per partition bin, ``S_j = O_j @ marg_j``
+  where ``O_j`` is the overlap matrix (a cell straddling a bin boundary
+  contributes proportionally to overlap — the same within-cell uniformity
+  assumption used everywhere else);
+* consensus ``S = Σ_j θ_j S_j`` with per-grid weights
+  ``θ_j ∝ 1 / Var[S_j]``, where ``Var[S_j]`` is the grid's per-cell
+  estimation variance times its expected cell count per bin — the paper's
+  ``1/|L|`` weighting generalized to fractional overlaps;
+* each grid's marginal is shifted by the *minimum-norm* correction
+  satisfying ``O_j @ (marg_j + Δ) == S``, i.e.
+  ``Δ = O_jᵀ (O_j O_jᵀ)⁻¹ (S − S_j)``. For nesting (0/1) overlap matrices
+  ``O O^T`` is diagonal with the per-bin cell counts, so Δ reduces exactly
+  to the paper's "add ``(S − S_j)/|cells|`` to each cell". 2-D grids spread
+  each axis-cell correction uniformly along the other axis.
+
+Scalar per-grid weights keep total mass exactly invariant when all grids
+carry equal mass (they always do after a non-negativity pass).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import EstimationError
+from repro.grids.binning import Binning
+from repro.grids.grid import Grid1D, Grid2D, GridEstimate
+
+
+def _axis_binning(estimate: GridEstimate, attr_index: int) -> Binning:
+    grid = estimate.grid
+    if isinstance(grid, Grid1D):
+        return grid.binning
+    if attr_index == grid.attr_index_x:
+        return grid.binning_x
+    return grid.binning_y
+
+
+def _other_axis_cells(estimate: GridEstimate, attr_index: int) -> int:
+    grid = estimate.grid
+    if isinstance(grid, Grid1D):
+        return 1
+    if attr_index == grid.attr_index_x:
+        return grid.binning_y.num_cells
+    return grid.binning_x.num_cells
+
+
+def overlap_matrix(partition: Binning, binning: Binning) -> np.ndarray:
+    """``O[p, c]``: fraction of cell ``c``'s codes inside partition bin ``p``.
+
+    Columns sum to 1 (each cell's mass is fully distributed over bins).
+    """
+    if partition.domain_size != binning.domain_size:
+        raise EstimationError(
+            f"partition domain {partition.domain_size} != binning domain "
+            f"{binning.domain_size}"
+        )
+    p_edges = partition.edges.astype(np.float64)
+    c_edges = binning.edges.astype(np.float64)
+    lo = np.maximum(p_edges[:-1, None], c_edges[None, :-1])
+    hi = np.minimum(p_edges[1:, None], c_edges[None, 1:])
+    inter = np.clip(hi - lo, 0.0, None)
+    widths = (c_edges[1:] - c_edges[:-1])[None, :]
+    return inter / widths
+
+
+def _marginal_and_apply(estimate: GridEstimate, attr_index: int):
+    """Return (marginal along attr, callable applying per-axis-cell deltas)."""
+    grid = estimate.grid
+    if isinstance(grid, Grid1D):
+        marginal = estimate.frequencies.copy()
+
+        def apply(deltas: np.ndarray) -> None:
+            estimate.frequencies += deltas
+
+        return marginal, apply
+    matrix = estimate.matrix()
+    if attr_index == grid.attr_index_x:
+        marginal = matrix.sum(axis=1)
+
+        def apply(deltas: np.ndarray) -> None:
+            per_cell = deltas / grid.binning_y.num_cells
+            estimate.frequencies += np.repeat(per_cell,
+                                              grid.binning_y.num_cells)
+
+        return marginal, apply
+    marginal = matrix.sum(axis=0)
+
+    def apply(deltas: np.ndarray) -> None:
+        per_cell = deltas / grid.binning_x.num_cells
+        estimate.frequencies += np.tile(per_cell,
+                                        grid.binning_x.num_cells)
+
+    return marginal, apply
+
+
+def _consensus_partition(estimates: Sequence[GridEstimate],
+                         attr_index: int) -> Binning:
+    """Common partition for an attribute: its coarsest related binning.
+
+    Under OHG the attribute's 1-D grid is typically the coarsest; under
+    OUG (no 1-D grids) this picks the coarsest 2-D axis so every grid maps
+    onto it with minimal straddling.
+    """
+    binnings = [_axis_binning(est, attr_index) for est in estimates]
+    return min(binnings, key=lambda b: b.num_cells)
+
+
+def _min_norm_correction(overlap: np.ndarray,
+                         delta_bins: np.ndarray) -> np.ndarray:
+    """Smallest per-cell shift whose bin aggregate equals ``delta_bins``."""
+    gram = overlap @ overlap.T
+    # The partition covers the domain, so every bin overlaps at least one
+    # cell and the Gram matrix is positive definite; regularize anyway to
+    # be safe against degenerate single-code bins.
+    gram += 1e-12 * np.eye(len(gram))
+    return overlap.T @ np.linalg.solve(gram, delta_bins)
+
+
+def enforce_consistency(estimates: Sequence[GridEstimate],
+                        cell_variances: Dict[Tuple[int, ...], float],
+                        num_attributes: int) -> None:
+    """One consistency sweep over every attribute, editing grids in place.
+
+    Parameters
+    ----------
+    estimates:
+        All grid estimates of the collection.
+    cell_variances:
+        Per-grid per-cell estimation variance, keyed by ``grid.key`` —
+        used for the inverse-variance weights θ.
+    num_attributes:
+        ``k``; attributes are swept in index order.
+    """
+    by_attr: List[List[GridEstimate]] = [[] for _ in range(num_attributes)]
+    for est in estimates:
+        for attr_index in est.grid.key:
+            by_attr[attr_index].append(est)
+
+    for attr_index, related in enumerate(by_attr):
+        if len(related) < 2:
+            continue
+        partition = _consensus_partition(related, attr_index)
+
+        overlaps = []
+        bin_masses = []
+        weights = []
+        appliers = []
+        for est in related:
+            binning = _axis_binning(est, attr_index)
+            overlap = overlap_matrix(partition, binning)
+            marginal, apply = _marginal_and_apply(est, attr_index)
+            var0 = cell_variances.get(est.grid.key, 1.0)
+            other = _other_axis_cells(est, attr_index)
+            # Var[S_j(p)] = var0 * other * sum_c O[p,c]^2; averaged over
+            # bins to get one scalar weight per grid (paper's theta_j).
+            variance = var0 * other * float((overlap ** 2).sum(axis=1)
+                                            .mean())
+            overlaps.append(overlap)
+            bin_masses.append(overlap @ marginal)
+            weights.append(1.0 / max(variance, 1e-30))
+            appliers.append(apply)
+
+        theta = np.asarray(weights)
+        theta = theta / theta.sum()
+        consensus = sum(t * s for t, s in zip(theta, bin_masses))
+
+        for overlap, masses, apply in zip(overlaps, bin_masses, appliers):
+            apply(_min_norm_correction(overlap, consensus - masses))

@@ -1,0 +1,51 @@
+"""Algorithm 1: remove negative estimates and normalize to a target mass.
+
+Known in the literature as *norm-sub*: clip negatives to zero, then shift
+all positive entries by a common constant so the total hits the target;
+repeat (the shift can push small positives negative) until the vector is
+non-negative and sums to the target.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EstimationError
+
+
+def normalize_non_negative(frequencies: np.ndarray, target: float = 1.0,
+                           tol: float = 1e-12,
+                           max_iter: int = 10_000) -> np.ndarray:
+    """Project ``frequencies`` onto {f >= 0, sum(f) == target}.
+
+    Returns a new array; the input is not modified. If every entry is
+    clipped to zero (all estimates negative), mass is spread uniformly.
+    """
+    if target < 0:
+        raise EstimationError(f"target mass must be >= 0, got {target}")
+    f = np.array(frequencies, dtype=np.float64)
+    if f.ndim != 1:
+        raise EstimationError(
+            f"frequencies must be 1-D, got shape {f.shape}"
+        )
+    if f.size == 0:
+        raise EstimationError("cannot normalize an empty vector")
+    for _ in range(max_iter):
+        np.clip(f, 0.0, None, out=f)
+        positive = f > 0.0
+        num_positive = int(positive.sum())
+        if num_positive == 0:
+            f[:] = target / f.size
+            return f
+        diff = (target - f.sum()) / num_positive
+        f[positive] += diff
+        if diff >= 0.0 or f.min() >= -tol:
+            np.clip(f, 0.0, None, out=f)
+            # One final exact rescale absorbs the clip residue.
+            total = f.sum()
+            if total > 0.0:
+                f *= target / total
+            return f
+    raise EstimationError(
+        f"norm-sub failed to converge in {max_iter} iterations"
+    )

@@ -1,0 +1,35 @@
+"""Post-processing driver: alternate consistency and non-negativity.
+
+The paper (Section 5.4) notes that each step can undo the other's invariant,
+so they are interleaved for a few rounds and the pipeline always *ends* with
+the non-negativity step — the response-matrix stage (Algorithm 3) requires
+non-negative cell masses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.errors import EstimationError
+from repro.grids.grid import GridEstimate
+from repro.postprocess.consistency import enforce_consistency
+from repro.postprocess.nonneg import normalize_non_negative
+
+
+def postprocess_grids(estimates: Sequence[GridEstimate],
+                      cell_variances: Dict[Tuple[int, ...], float],
+                      num_attributes: int, rounds: int = 2) -> None:
+    """Run ``rounds`` of (consistency, non-negativity) in place.
+
+    ``rounds=0`` applies a single non-negativity pass only (used by
+    ablations that switch consistency off).
+    """
+    if rounds < 0:
+        raise EstimationError(f"rounds must be >= 0, got {rounds}")
+    for _ in range(rounds):
+        enforce_consistency(estimates, cell_variances, num_attributes)
+        for est in estimates:
+            est.frequencies = normalize_non_negative(est.frequencies)
+    if rounds == 0:
+        for est in estimates:
+            est.frequencies = normalize_non_negative(est.frequencies)

@@ -1,0 +1,22 @@
+"""Query model: predicates, conjunctive queries, workload generation."""
+
+from repro.queries.predicate import Predicate, between, equals, isin
+from repro.queries.query import Query
+from repro.queries.sql import parse_count_query
+from repro.queries.workload import (
+    WorkloadSpec,
+    random_workload,
+    selectivity_profile,
+)
+
+__all__ = [
+    "Predicate",
+    "Query",
+    "between",
+    "equals",
+    "isin",
+    "WorkloadSpec",
+    "random_workload",
+    "selectivity_profile",
+    "parse_count_query",
+]

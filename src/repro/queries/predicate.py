@@ -1,0 +1,150 @@
+"""Predicates: the atoms of FELIP's multidimensional queries.
+
+A predicate constrains one attribute (paper, Section 4):
+
+* ``BETWEEN`` — an inclusive code range ``[lo, hi]`` on a numerical
+  attribute;
+* ``IN`` — a set of codes on a categorical attribute;
+* ``=`` — a single code (normalized to a one-element ``IN`` for categorical
+  attributes and a width-one ``BETWEEN`` for numerical ones).
+
+All predicates operate on integer codes; translate labels/real values through
+the schema before building predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.schema import Attribute
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A constraint on a single attribute.
+
+    Exactly one of ``interval`` (numerical ``BETWEEN``) or ``members``
+    (categorical ``IN``) is set. Use the :func:`between`, :func:`isin` and
+    :func:`equals` constructors instead of instantiating directly.
+    """
+
+    attribute: str
+    interval: Optional[Tuple[int, int]] = None
+    members: Optional[FrozenSet[int]] = None
+
+    def __post_init__(self) -> None:
+        has_interval = self.interval is not None
+        has_members = self.members is not None
+        if has_interval == has_members:
+            raise QueryError(
+                "predicate needs exactly one of interval or members"
+            )
+        if has_interval:
+            lo, hi = self.interval
+            if lo > hi:
+                raise QueryError(
+                    f"predicate on {self.attribute!r}: empty interval "
+                    f"[{lo}, {hi}]"
+                )
+            if lo < 0:
+                raise QueryError(
+                    f"predicate on {self.attribute!r}: negative bound {lo}"
+                )
+        else:
+            if not self.members:
+                raise QueryError(
+                    f"predicate on {self.attribute!r}: empty member set"
+                )
+            if min(self.members) < 0:
+                raise QueryError(
+                    f"predicate on {self.attribute!r}: negative member"
+                )
+
+    @property
+    def is_range(self) -> bool:
+        """True for ``BETWEEN`` predicates."""
+        return self.interval is not None
+
+    def validate_for(self, attr: Attribute) -> None:
+        """Check the predicate is applicable to ``attr``; raise otherwise."""
+        if attr.name != self.attribute:
+            raise QueryError(
+                f"predicate targets {self.attribute!r}, attribute is "
+                f"{attr.name!r}"
+            )
+        if self.is_range:
+            if not attr.is_numerical:
+                raise QueryError(
+                    f"BETWEEN predicate on categorical attribute "
+                    f"{attr.name!r}"
+                )
+            if self.interval[1] >= attr.domain_size:
+                raise QueryError(
+                    f"predicate on {attr.name!r}: interval {self.interval} "
+                    f"exceeds domain [0, {attr.domain_size})"
+                )
+        else:
+            if max(self.members) >= attr.domain_size:
+                raise QueryError(
+                    f"predicate on {attr.name!r}: member "
+                    f"{max(self.members)} exceeds domain "
+                    f"[0, {attr.domain_size})"
+                )
+
+    def mask(self, codes: np.ndarray) -> np.ndarray:
+        """Boolean satisfaction mask over a vector of attribute codes."""
+        if self.is_range:
+            lo, hi = self.interval
+            return (codes >= lo) & (codes <= hi)
+        return np.isin(codes, np.fromiter(self.members, dtype=np.int64))
+
+    def selectivity(self, domain_size: int) -> float:
+        """Fraction of the domain the predicate admits (uniform prior)."""
+        if self.is_range:
+            lo, hi = self.interval
+            return (min(hi, domain_size - 1) - lo + 1) / domain_size
+        return len(self.members) / domain_size
+
+    def indicator(self, domain_size: int) -> np.ndarray:
+        """0/1 vector over the attribute domain, 1 where admitted."""
+        out = np.zeros(domain_size, dtype=np.float64)
+        if self.is_range:
+            lo, hi = self.interval
+            out[lo:min(hi, domain_size - 1) + 1] = 1.0
+        else:
+            out[np.fromiter(self.members, dtype=np.int64)] = 1.0
+        return out
+
+    def __str__(self) -> str:
+        if self.is_range:
+            return f"{self.attribute} BETWEEN {self.interval[0]} " \
+                   f"AND {self.interval[1]}"
+        vals = ", ".join(str(v) for v in sorted(self.members))
+        return f"{self.attribute} IN ({vals})"
+
+
+def between(attribute: str, lo: int, hi: int) -> Predicate:
+    """``attribute BETWEEN lo AND hi`` (inclusive, on integer codes)."""
+    return Predicate(attribute=attribute, interval=(int(lo), int(hi)))
+
+
+def isin(attribute: str, members: Sequence[int]) -> Predicate:
+    """``attribute IN members`` (on integer codes)."""
+    return Predicate(attribute=attribute,
+                     members=frozenset(int(m) for m in members))
+
+
+def equals(attribute: str, value: int, numerical: bool = False) -> Predicate:
+    """``attribute = value``.
+
+    Pass ``numerical=True`` when the attribute is numerical so the predicate
+    is represented as a width-one range (which grids can answer); categorical
+    equality becomes a singleton ``IN``.
+    """
+    if numerical:
+        return between(attribute, value, value)
+    return isin(attribute, [value])

@@ -1,0 +1,115 @@
+"""Conjunctive multidimensional queries and their exact evaluation."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.errors import QueryError
+from repro.queries.predicate import Predicate
+from repro.schema import Schema
+
+
+class Query:
+    """A λ-dimensional conjunction of predicates (paper, Section 4).
+
+    The answer of a query is the *fraction* of records satisfying every
+    predicate (counts divided by ``n``), matching the paper's
+    ``f_q = |{v_i : ...}| / n``.
+    """
+
+    def __init__(self, predicates: Iterable[Predicate]):
+        predicates = list(predicates)
+        if not predicates:
+            raise QueryError("query needs at least one predicate")
+        names = [p.attribute for p in predicates]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise QueryError(
+                f"multiple predicates on the same attribute(s): {dupes}"
+            )
+        self._predicates: Tuple[Predicate, ...] = tuple(predicates)
+        self._by_attr: Dict[str, Predicate] = {p.attribute: p
+                                               for p in predicates}
+
+    # -- container protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._predicates)
+
+    def __iter__(self) -> Iterator[Predicate]:
+        return iter(self._predicates)
+
+    def __str__(self) -> str:
+        return " AND ".join(str(p) for p in self._predicates)
+
+    def __repr__(self) -> str:
+        return f"Query({self})"
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def dimension(self) -> int:
+        """λ: the number of constrained attributes."""
+        return len(self._predicates)
+
+    @property
+    def attributes(self) -> List[str]:
+        """Names of the constrained attributes, in predicate order."""
+        return [p.attribute for p in self._predicates]
+
+    def predicate_on(self, attribute: str) -> Predicate:
+        """The predicate constraining ``attribute``."""
+        try:
+            return self._by_attr[attribute]
+        except KeyError:
+            raise QueryError(
+                f"query has no predicate on {attribute!r}"
+            ) from None
+
+    def constrains(self, attribute: str) -> bool:
+        return attribute in self._by_attr
+
+    # -- validation and evaluation ---------------------------------------------
+
+    def validate_for(self, schema: Schema) -> None:
+        """Check every predicate is applicable to ``schema``."""
+        for pred in self._predicates:
+            if pred.attribute not in schema:
+                raise QueryError(
+                    f"query predicate on unknown attribute "
+                    f"{pred.attribute!r}"
+                )
+            pred.validate_for(schema[pred.attribute])
+
+    def true_answer(self, dataset: Dataset) -> float:
+        """Exact (non-private) fractional answer on ``dataset``."""
+        self.validate_for(dataset.schema)
+        if dataset.n == 0:
+            return 0.0
+        mask = np.ones(dataset.n, dtype=bool)
+        for pred in self._predicates:
+            mask &= pred.mask(dataset.column(pred.attribute))
+            if not mask.any():
+                return 0.0
+        return float(mask.sum()) / dataset.n
+
+    def selectivity(self, schema: Schema) -> float:
+        """Product of per-predicate selectivities (independence prior)."""
+        sel = 1.0
+        for pred in self._predicates:
+            sel *= pred.selectivity(schema[pred.attribute].domain_size)
+        return sel
+
+    def pairs(self) -> List[Tuple[Predicate, Predicate]]:
+        """All ``C(λ, 2)`` predicate pairs, for 2-D decomposition."""
+        preds = self._predicates
+        return [(preds[i], preds[j])
+                for i in range(len(preds)) for j in range(i + 1, len(preds))]
+
+
+def true_answers(queries: Iterable[Query], dataset: Dataset) -> np.ndarray:
+    """Vector of exact answers for a workload."""
+    return np.array([q.true_answer(dataset) for q in queries])

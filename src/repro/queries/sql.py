@@ -1,0 +1,229 @@
+"""A minimal SQL-ish surface for counting queries.
+
+The paper motivates FELIP with queries like::
+
+    SELECT COUNT(*) FROM T
+    WHERE Age BETWEEN 30 AND 60
+      AND Education IN ('Doctorate', 'Masters')
+      AND Salary <= 80000
+
+This module parses exactly that fragment — ``SELECT COUNT(*) FROM <t>
+WHERE <cond> [AND <cond>]*`` with conditions ``BETWEEN a AND b``,
+``IN (v, ...)``, ``= v``, ``<= v``, ``>= v``, ``< v``, ``> v`` — into a
+:class:`~repro.queries.Query` against a schema. Values are translated per
+attribute kind: categorical literals through the attribute's labels,
+numerical literals through the recorded real range (or taken as raw codes
+when the attribute has none).
+
+This is a convenience layer, not a SQL engine: anything outside the
+fragment raises :class:`~repro.errors.QueryError` with a pointed message.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.errors import QueryError
+from repro.queries.predicate import Predicate, between, isin
+from repro.queries.query import Query
+from repro.schema import Attribute, Schema
+
+_HEAD = re.compile(
+    r"^\s*select\s+count\s*\(\s*\*\s*\)\s+from\s+\S+\s+where\s+(?P<where>.+?)\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL)
+_BETWEEN = re.compile(
+    r"^(?P<attr>\w+)\s+between\s+(?P<lo>\S+)\s+and\s+(?P<hi>\S+)$",
+    re.IGNORECASE)
+_IN = re.compile(r"^(?P<attr>\w+)\s+in\s*\((?P<body>[^)]*)\)$",
+                 re.IGNORECASE)
+_COMPARE = re.compile(
+    r"^(?P<attr>\w+)\s*(?P<op><=|>=|=|<|>)\s*(?P<value>\S+)$")
+
+
+def _split_conjuncts(where: str) -> List[str]:
+    """Split on top-level AND, keeping BETWEEN's internal AND intact."""
+    tokens = re.split(r"\s+and\s+", where, flags=re.IGNORECASE)
+    conjuncts: List[str] = []
+    pending: Optional[str] = None
+    for token in tokens:
+        if pending is not None:
+            conjuncts.append(f"{pending} AND {token}")
+            pending = None
+        elif re.search(r"\bbetween\s+\S+$", token, re.IGNORECASE) or \
+                re.search(r"\bbetween$", token.strip(), re.IGNORECASE):
+            pending = token
+        else:
+            conjuncts.append(token)
+    if pending is not None:
+        raise QueryError(f"dangling BETWEEN in {pending!r}")
+    return [c.strip() for c in conjuncts if c.strip()]
+
+
+def _strip_quotes(literal: str) -> Tuple[str, bool]:
+    literal = literal.strip()
+    if len(literal) >= 2 and literal[0] == literal[-1] and \
+            literal[0] in ("'", '"'):
+        return literal[1:-1], True
+    return literal, False
+
+
+def _numeric_code(attr: Attribute, literal: str, round_up: bool) -> int:
+    """Translate a numeric literal to a code (via the real range if any)."""
+    try:
+        value = float(literal)
+    except ValueError:
+        raise QueryError(
+            f"{attr.name}: expected a number, got {literal!r}") from None
+    if attr.lo is None:
+        code = int(round(value))
+    else:
+        span = attr.hi - attr.lo
+        fraction = (value - attr.lo) / span
+        scaled = fraction * attr.domain_size
+        # A bound like "<= 80k" must include the bucket containing 80k.
+        # The 1e-9 guards against float round-off when the literal sits
+        # exactly on a bucket edge (e.g. values emitted by to_sql).
+        code = int(scaled + 1e-9) if not round_up else int(scaled - 1e-9)
+    return max(0, min(attr.domain_size - 1, code))
+
+
+def _categorical_codes(attr: Attribute, literals: List[str]) -> List[int]:
+    from repro.errors import SchemaError
+    codes = []
+    for literal in literals:
+        text, _ = _strip_quotes(literal)
+        try:
+            codes.append(attr.code_of(text))
+        except SchemaError as exc:
+            raise QueryError(str(exc)) from None
+    return codes
+
+
+def _parse_condition(condition: str, schema: Schema) -> Predicate:
+    match = _BETWEEN.match(condition)
+    if match:
+        attr = _lookup(schema, match.group("attr"))
+        if not attr.is_numerical:
+            raise QueryError(
+                f"{attr.name}: BETWEEN needs a numerical attribute")
+        lo = _numeric_code(attr, match.group("lo"), round_up=False)
+        hi = _numeric_code(attr, match.group("hi"), round_up=True)
+        return between(attr.name, min(lo, hi), max(lo, hi))
+
+    match = _IN.match(condition)
+    if match:
+        attr = _lookup(schema, match.group("attr"))
+        literals = [part for part in match.group("body").split(",")
+                    if part.strip()]
+        if not literals:
+            raise QueryError(f"{attr.name}: empty IN list")
+        if attr.is_categorical:
+            return isin(attr.name, _categorical_codes(attr, literals))
+        codes = sorted({_numeric_code(attr, _strip_quotes(l)[0], False)
+                        for l in literals})
+        return isin(attr.name, codes)
+
+    match = _COMPARE.match(condition)
+    if match:
+        attr = _lookup(schema, match.group("attr"))
+        op = match.group("op")
+        literal = match.group("value")
+        if attr.is_categorical:
+            if op != "=":
+                raise QueryError(
+                    f"{attr.name}: only '=' applies to categorical "
+                    f"attributes, got {op!r}")
+            return isin(attr.name, _categorical_codes(attr, [literal]))
+        d = attr.domain_size
+        if op == "=":
+            code = _numeric_code(attr, literal, round_up=False)
+            return between(attr.name, code, code)
+        if op == "<=":
+            return between(attr.name, 0,
+                           _numeric_code(attr, literal, round_up=True))
+        if op == "<":
+            hi = _numeric_code(attr, literal, round_up=False)
+            return between(attr.name, 0, max(hi - (attr.lo is None), 0))
+        if op == ">=":
+            return between(attr.name,
+                           _numeric_code(attr, literal, round_up=False),
+                           d - 1)
+        # op == ">"
+        lo = _numeric_code(attr, literal, round_up=True)
+        return between(attr.name, min(lo + (attr.lo is None), d - 1),
+                       d - 1)
+
+    raise QueryError(
+        f"cannot parse condition {condition!r}; supported forms: "
+        f"'a BETWEEN x AND y', 'a IN (...)', 'a {{=,<,<=,>,>=}} x'")
+
+
+def _lookup(schema: Schema, name: str) -> Attribute:
+    for attr in schema:
+        if attr.name.lower() == name.lower():
+            return attr
+    raise QueryError(
+        f"unknown attribute {name!r}; schema has {schema.names}")
+
+
+def to_sql(query: Query, schema: Schema, table: str = "t") -> str:
+    """Render a query back into the SQL fragment this module parses.
+
+    Inverse of :func:`parse_count_query` at the *code* level: numerical
+    bounds are emitted as raw codes (attributes without a real range) or
+    as bucket-boundary real values, and categorical members as quoted
+    labels. ``parse_count_query(to_sql(q, schema), schema)`` reproduces
+    ``q``'s predicates exactly.
+    """
+    query.validate_for(schema)
+    conditions = []
+    for predicate in query:
+        attr = schema[predicate.attribute]
+        if predicate.is_range:
+            lo, hi = predicate.interval
+            if attr.lo is None:
+                conditions.append(
+                    f"{attr.name} BETWEEN {lo} AND {hi}")
+            else:
+                width = (attr.hi - attr.lo) / attr.domain_size
+                # Emit bucket edges so re-parsing maps back to [lo, hi]:
+                # the lower edge of bucket lo and the upper edge of hi.
+                real_lo = attr.lo + lo * width
+                real_hi = attr.lo + (hi + 1) * width
+                conditions.append(
+                    f"{attr.name} BETWEEN {real_lo!r} AND {real_hi!r}")
+        else:
+            members = sorted(predicate.members)
+            if attr.is_categorical:
+                labels = ", ".join(f"'{attr.label_of(m)}'"
+                                   for m in members)
+            else:
+                labels = ", ".join(str(m) for m in members)
+            conditions.append(f"{attr.name} IN ({labels})")
+    return (f"SELECT COUNT(*) FROM {table} WHERE "
+            + " AND ".join(conditions))
+
+
+def parse_count_query(sql: str, schema: Schema) -> Query:
+    """Parse a ``SELECT COUNT(*) ... WHERE ...`` statement into a query.
+
+    Example
+    -------
+    >>> from repro.data import ipums_like_dataset
+    >>> schema = ipums_like_dataset(10, rng=0).schema
+    >>> q = parse_count_query(
+    ...     "SELECT COUNT(*) FROM t WHERE age BETWEEN 30 AND 60 "
+    ...     "AND education_level IN ('masters', 'doctorate')", schema)
+    >>> q.dimension
+    2
+    """
+    match = _HEAD.match(sql)
+    if not match:
+        raise QueryError(
+            "expected 'SELECT COUNT(*) FROM <t> WHERE <conditions>'")
+    predicates = [_parse_condition(c, schema)
+                  for c in _split_conjuncts(match.group("where"))]
+    query = Query(predicates)
+    query.validate_for(schema)
+    return query

@@ -1,0 +1,137 @@
+"""Random workload generation at a target selectivity.
+
+The paper evaluates on ``|Q| = 10`` random λ-dimensional queries whose
+numerical predicates each span a fraction ``s`` of the attribute domain
+(Section 6.2). Categorical predicates draw a random subset whose size is the
+closest match to the same selectivity (at least one value).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.queries.predicate import Predicate, between, isin
+from repro.queries.query import Query
+from repro.rng import RngLike, ensure_rng
+from repro.schema import Schema
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of a random workload.
+
+    Attributes
+    ----------
+    num_queries:
+        ``|Q|``, the number of queries.
+    dimension:
+        λ, the number of predicates per query.
+    selectivity:
+        Target per-attribute selectivity ``s`` in ``(0, 1]``.
+    range_only:
+        Restrict predicates to numerical attributes (the Section 6.3
+        adaptive-protocol evaluation compares against TDG/HDG, which only
+        support range queries).
+    """
+
+    num_queries: int = 10
+    dimension: int = 2
+    selectivity: float = 0.5
+    range_only: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_queries < 1:
+            raise QueryError("num_queries must be >= 1")
+        if self.dimension < 1:
+            raise QueryError("dimension must be >= 1")
+        if not 0.0 < self.selectivity <= 1.0:
+            raise QueryError(
+                f"selectivity must be in (0, 1], got {self.selectivity}"
+            )
+
+
+def _random_range_predicate(name: str, domain: int, selectivity: float,
+                            rng: np.random.Generator) -> Predicate:
+    width = max(1, min(domain, int(round(selectivity * domain))))
+    lo = int(rng.integers(0, domain - width + 1))
+    return between(name, lo, lo + width - 1)
+
+
+def _random_set_predicate(name: str, domain: int, selectivity: float,
+                          rng: np.random.Generator) -> Predicate:
+    size = max(1, min(domain, int(round(selectivity * domain))))
+    members = rng.choice(domain, size=size, replace=False)
+    return isin(name, members.tolist())
+
+
+def selectivity_profile(queries, schema: Schema,
+                        default: float = 0.5) -> dict:
+    """Per-attribute average selectivity of a known workload.
+
+    The paper's aggregator "can use the average selectivity of a set of
+    queries" when sizing grids (Section 5); feed the result into
+    :attr:`repro.FelipConfig.selectivity_overrides`::
+
+        overrides = selectivity_profile(expected_queries, schema)
+        config = FelipConfig(selectivity_overrides=overrides)
+
+    Attributes never mentioned by the workload are omitted (they fall back
+    to the config's global prior).
+    """
+    sums: dict = {}
+    counts: dict = {}
+    for query in queries:
+        query.validate_for(schema)
+        for predicate in query:
+            domain = schema[predicate.attribute].domain_size
+            sums[predicate.attribute] = (
+                sums.get(predicate.attribute, 0.0)
+                + predicate.selectivity(domain))
+            counts[predicate.attribute] = \
+                counts.get(predicate.attribute, 0) + 1
+    return {name: sums[name] / counts[name] for name in sums}
+
+
+def random_workload(schema: Schema, spec: WorkloadSpec,
+                    rng: RngLike = None) -> List[Query]:
+    """Draw ``spec.num_queries`` random queries against ``schema``.
+
+    Every query constrains ``spec.dimension`` distinct attributes chosen
+    uniformly (from the numerical ones only when ``spec.range_only``).
+    """
+    rng = ensure_rng(rng)
+    if spec.range_only:
+        candidate_idx = schema.numerical_indices
+        if len(candidate_idx) < spec.dimension:
+            raise QueryError(
+                f"range-only workload of dimension {spec.dimension} needs "
+                f"{spec.dimension} numerical attributes; schema has "
+                f"{len(candidate_idx)}"
+            )
+    else:
+        candidate_idx = list(range(len(schema)))
+        if len(candidate_idx) < spec.dimension:
+            raise QueryError(
+                f"workload dimension {spec.dimension} exceeds attribute "
+                f"count {len(candidate_idx)}"
+            )
+
+    queries: List[Query] = []
+    for _ in range(spec.num_queries):
+        chosen = rng.choice(candidate_idx, size=spec.dimension,
+                            replace=False)
+        predicates = []
+        for t in sorted(int(c) for c in chosen):
+            attr = schema[t]
+            if attr.is_numerical:
+                predicates.append(_random_range_predicate(
+                    attr.name, attr.domain_size, spec.selectivity, rng))
+            else:
+                predicates.append(_random_set_predicate(
+                    attr.name, attr.domain_size, spec.selectivity, rng))
+        queries.append(Query(predicates))
+    return queries

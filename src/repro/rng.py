@@ -1,0 +1,55 @@
+"""Random-number-generation helpers.
+
+Everything stochastic in the library flows through :func:`ensure_rng` so that
+experiments are reproducible from a single integer seed and components can be
+handed independent child generators via :func:`spawn`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (fresh nondeterministic generator), an integer seed, or
+    an existing generator (returned unchanged).
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def spawn(rng: np.random.Generator, count: int) -> list:
+    """Derive ``count`` statistically independent child generators."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def random_seed(rng: RngLike = None) -> int:
+    """Draw a single 63-bit seed, for handing off to other components."""
+    return int(ensure_rng(rng).integers(0, 2**63 - 1, dtype=np.int64))
+
+
+def permuted_group_assignment(
+    n: int, group_sizes: "np.ndarray", rng: RngLike = None
+) -> np.ndarray:
+    """Assign ``n`` users to ``len(group_sizes)`` groups of the given sizes.
+
+    Returns an integer array of length ``n`` with a uniformly random
+    assignment where exactly ``group_sizes[g]`` users land in group ``g``.
+    """
+    sizes = np.asarray(group_sizes, dtype=np.int64)
+    if sizes.sum() != n:
+        raise ValueError(f"group sizes sum to {sizes.sum()}, expected {n}")
+    if (sizes < 0).any():
+        raise ValueError("group sizes must be non-negative")
+    labels = np.repeat(np.arange(len(sizes)), sizes)
+    return ensure_rng(rng).permutation(labels)

@@ -1,0 +1,15 @@
+"""Attribute and schema definitions for multidimensional datasets."""
+
+from repro.schema.attribute import (
+    Attribute,
+    CategoricalAttribute,
+    NumericalAttribute,
+)
+from repro.schema.schema import Schema
+
+__all__ = [
+    "Attribute",
+    "CategoricalAttribute",
+    "NumericalAttribute",
+    "Schema",
+]

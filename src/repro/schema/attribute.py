@@ -1,0 +1,172 @@
+"""Attribute definitions.
+
+FELIP distinguishes two attribute kinds (paper, Section 4):
+
+* **numerical / ordinal** attributes — an ordered integer domain
+  ``{0, 1, ..., d-1}`` that supports range (``BETWEEN``) predicates and can be
+  binned into grid cells spanning contiguous sub-ranges;
+* **categorical** attributes — an unordered domain that only supports point
+  and set-membership (``=`` / ``IN``) predicates and is never binned: every
+  grid axis over a categorical attribute has exactly one cell per value.
+
+Raw data (floats, strings) is mapped onto the integer domain by the dataset
+layer (:mod:`repro.data`); the estimation pipeline only ever sees integer
+codes in ``[0, d)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """Base class for a named attribute with an integer-coded domain.
+
+    Parameters
+    ----------
+    name:
+        Unique attribute name within a :class:`~repro.schema.Schema`.
+    domain_size:
+        Number of distinct values; codes are ``0 .. domain_size - 1``.
+    """
+
+    name: str
+    domain_size: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+        if self.domain_size < 1:
+            raise SchemaError(
+                f"attribute {self.name!r}: domain_size must be >= 1, "
+                f"got {self.domain_size}"
+            )
+
+    @property
+    def is_numerical(self) -> bool:
+        raise NotImplementedError
+
+    @property
+    def is_categorical(self) -> bool:
+        return not self.is_numerical
+
+    def validate_code(self, code: int) -> None:
+        """Raise :class:`SchemaError` unless ``code`` is in the domain."""
+        if not 0 <= code < self.domain_size:
+            raise SchemaError(
+                f"attribute {self.name!r}: code {code} outside "
+                f"[0, {self.domain_size})"
+            )
+
+
+@dataclass(frozen=True)
+class NumericalAttribute(Attribute):
+    """An ordered attribute supporting range predicates and binning.
+
+    ``lo``/``hi`` optionally record the real-valued range the integer codes
+    were discretized from; they are informational only (used when decoding
+    values for reports) and default to the code range itself.
+    """
+
+    lo: Optional[float] = None
+    hi: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if (self.lo is None) != (self.hi is None):
+            raise SchemaError(
+                f"attribute {self.name!r}: lo and hi must be given together"
+            )
+        if self.lo is not None and self.lo >= self.hi:
+            raise SchemaError(
+                f"attribute {self.name!r}: lo must be < hi "
+                f"(got {self.lo} >= {self.hi})"
+            )
+
+    @property
+    def is_numerical(self) -> bool:
+        return True
+
+    def code_to_value(self, code: int) -> float:
+        """Map an integer code back to the midpoint of its real sub-range."""
+        self.validate_code(code)
+        if self.lo is None:
+            return float(code)
+        width = (self.hi - self.lo) / self.domain_size
+        return self.lo + (code + 0.5) * width
+
+
+@dataclass(frozen=True)
+class CategoricalAttribute(Attribute):
+    """An unordered attribute supporting point/set predicates only.
+
+    ``labels`` optionally names each code (e.g. education levels); when
+    omitted, codes are their own labels.
+    """
+
+    labels: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.labels is not None:
+            if len(self.labels) != self.domain_size:
+                raise SchemaError(
+                    f"attribute {self.name!r}: {len(self.labels)} labels for "
+                    f"domain of size {self.domain_size}"
+                )
+            if len(set(self.labels)) != len(self.labels):
+                raise SchemaError(
+                    f"attribute {self.name!r}: labels must be unique"
+                )
+
+    @property
+    def is_numerical(self) -> bool:
+        return False
+
+    def label_of(self, code: int) -> str:
+        """Human-readable label for ``code``."""
+        self.validate_code(code)
+        if self.labels is None:
+            return str(code)
+        return self.labels[code]
+
+    def code_of(self, label: str) -> int:
+        """Inverse of :meth:`label_of`."""
+        if self.labels is None:
+            try:
+                code = int(label)
+            except ValueError:
+                raise SchemaError(
+                    f"attribute {self.name!r} has no labels; expected an "
+                    f"integer-like label, got {label!r}"
+                ) from None
+            self.validate_code(code)
+            return code
+        try:
+            return self.labels.index(label)
+        except ValueError:
+            raise SchemaError(
+                f"attribute {self.name!r}: unknown label {label!r}"
+            ) from None
+
+
+def numerical(name: str, domain_size: int, lo: Optional[float] = None,
+              hi: Optional[float] = None) -> NumericalAttribute:
+    """Convenience constructor for a :class:`NumericalAttribute`."""
+    return NumericalAttribute(name=name, domain_size=domain_size, lo=lo, hi=hi)
+
+
+def categorical(name: str, values) -> CategoricalAttribute:
+    """Convenience constructor for a :class:`CategoricalAttribute`.
+
+    ``values`` may be an integer domain size or a sequence of labels.
+    """
+    if isinstance(values, int):
+        return CategoricalAttribute(name=name, domain_size=values)
+    labels = tuple(str(v) for v in values)
+    return CategoricalAttribute(name=name, domain_size=len(labels),
+                                labels=labels)

@@ -1,0 +1,99 @@
+"""Schema: an ordered collection of attributes describing a dataset."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.schema.attribute import Attribute
+
+
+class Schema:
+    """Ordered, named collection of :class:`~repro.schema.Attribute`.
+
+    The attribute order is significant: datasets are ``(n, k)`` integer
+    matrices whose column ``t`` holds codes for ``schema[t]``.
+    """
+
+    def __init__(self, attributes: Sequence[Attribute]):
+        attributes = list(attributes)
+        if not attributes:
+            raise SchemaError("schema needs at least one attribute")
+        names = [a.name for a in attributes]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate attribute names: {dupes}")
+        self._attributes: Tuple[Attribute, ...] = tuple(attributes)
+        self._index: Dict[str, int] = {a.name: i for i, a in
+                                       enumerate(attributes)}
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __getitem__(self, key) -> Attribute:
+        if isinstance(key, str):
+            return self._attributes[self.index_of(key)]
+        return self._attributes[key]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{a.name}({'num' if a.is_numerical else 'cat'}:{a.domain_size})"
+            for a in self._attributes
+        )
+        return f"Schema[{parts}]"
+
+    # -- lookup --------------------------------------------------------------
+
+    @property
+    def names(self) -> List[str]:
+        """Attribute names in column order."""
+        return [a.name for a in self._attributes]
+
+    @property
+    def domain_sizes(self) -> List[int]:
+        """Domain sizes in column order."""
+        return [a.domain_size for a in self._attributes]
+
+    def index_of(self, name: str) -> int:
+        """Column index of the attribute called ``name``."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown attribute {name!r}; schema has {self.names}"
+            ) from None
+
+    @property
+    def numerical_indices(self) -> List[int]:
+        """Column indices of numerical attributes."""
+        return [i for i, a in enumerate(self._attributes) if a.is_numerical]
+
+    @property
+    def categorical_indices(self) -> List[int]:
+        """Column indices of categorical attributes."""
+        return [i for i, a in enumerate(self._attributes) if a.is_categorical]
+
+    def pairs(self) -> List[Tuple[int, int]]:
+        """All ``(i, j)`` attribute-pair indices with ``i < j``.
+
+        These are the ``C(k, 2)`` pairs FELIP builds 2-D grids for.
+        """
+        k = len(self._attributes)
+        return [(i, j) for i in range(k) for j in range(i + 1, k)]
+
+    def subset(self, names: Sequence[str]) -> "Schema":
+        """New schema containing only ``names`` (in the given order)."""
+        return Schema([self[name] for name in names])

@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset
+from repro.schema import Schema
+from repro.schema.attribute import categorical, numerical
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator; tests needing other seeds make their own."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def mixed_schema():
+    """Two numerical + two categorical attributes, differing domains."""
+    return Schema([
+        numerical("age", 50),
+        numerical("income", 80),
+        categorical("sex", ("male", "female")),
+        categorical("region", 5),
+    ])
+
+
+@pytest.fixture
+def numeric_schema():
+    """Three numerical attributes (for range-only paths)."""
+    return Schema([
+        numerical("a", 32),
+        numerical("b", 32),
+        numerical("c", 64),
+    ])
+
+
+@pytest.fixture
+def mixed_dataset(mixed_schema, rng):
+    """A small correlated dataset over ``mixed_schema``."""
+    n = 5_000
+    age = rng.integers(0, 50, size=n)
+    income = np.clip(age + rng.normal(0, 12, size=n), 0, 79).astype(int)
+    sex = rng.integers(0, 2, size=n)
+    region = rng.choice(5, size=n, p=[0.4, 0.25, 0.2, 0.1, 0.05])
+    return Dataset(mixed_schema,
+                   np.column_stack([age, income, sex, region]))
+
+
+@pytest.fixture
+def numeric_dataset(numeric_schema, rng):
+    n = 5_000
+    cols = [rng.integers(0, attr.domain_size, size=n)
+            for attr in numeric_schema]
+    return Dataset(numeric_schema, np.column_stack(cols))

@@ -1,0 +1,105 @@
+"""Tests for the AHEAD-backed adaptive 1-D refinement integration."""
+
+import numpy as np
+import pytest
+
+from repro import Felip, FelipConfig
+from repro.core import StreamingCollector
+from repro.data import normal_dataset
+from repro.errors import ConfigurationError, GridError
+from repro.grids import Binning
+from repro.queries import Query, between
+
+
+@pytest.fixture
+def dataset():
+    return normal_dataset(30_000, num_numerical=2, num_categorical=1,
+                          numerical_domain=64, categorical_domain=4,
+                          rng=1)
+
+
+class TestExplicitBinning:
+    def test_from_edges(self):
+        b = Binning.from_edges([0, 3, 10, 16])
+        assert b.domain_size == 16
+        assert b.num_cells == 3
+        assert b.bounds(1) == (3, 9)
+        np.testing.assert_array_equal(b.widths, [3, 7, 6])
+
+    def test_cell_of_with_irregular_cells(self):
+        b = Binning.from_edges([0, 1, 8])
+        np.testing.assert_array_equal(b.cell_of(np.array([0, 1, 7])),
+                                      [0, 1, 1])
+
+    def test_equality_distinguishes_edges(self):
+        uniform = Binning(8, 2)              # edges 0,4,8
+        skewed = Binning.from_edges([0, 1, 8])
+        assert uniform != skewed
+        assert skewed == Binning.from_edges([0, 1, 8])
+
+    @pytest.mark.parametrize("edges", [[0], [1, 4], [0, 4, 4], [0, 4, 2]])
+    def test_invalid_edges(self, edges):
+        with pytest.raises(GridError):
+            Binning.from_edges(edges)
+
+    def test_range_weights_on_irregular_cells(self):
+        b = Binning.from_edges([0, 2, 10])
+        weights = b.range_weights(1, 5)
+        assert weights[0] == pytest.approx(0.5)
+        assert weights[1] == pytest.approx(4 / 8)
+
+
+class TestAheadRefinement:
+    def test_one_d_grids_become_adaptive(self, dataset):
+        config = FelipConfig(epsilon=1.0, one_d_protocol="ahead")
+        model = Felip(dataset.schema, config).fit(dataset, rng=2)
+        agg = model.aggregator
+        estimate = agg.estimate_for((0,))
+        binning = estimate.grid.binning
+        # Normal data: cells must not all be equal width (adaptivity).
+        assert binning.num_cells > 1
+        assert len(set(binning.widths.tolist())) > 1
+
+    def test_answers_remain_accurate(self, dataset):
+        config = FelipConfig(epsilon=1.0, one_d_protocol="ahead")
+        model = Felip(dataset.schema, config).fit(dataset, rng=3)
+        q = Query([between("num_0", 16, 48)])
+        assert model.answer(q) == pytest.approx(q.true_answer(dataset),
+                                                abs=0.1)
+        q2 = Query([between("num_0", 16, 48), between("num_1", 0, 31)])
+        assert model.answer(q2) == pytest.approx(q2.true_answer(dataset),
+                                                 abs=0.12)
+
+    def test_adaptive_cells_finer_in_dense_region(self, dataset):
+        config = FelipConfig(epsilon=2.0, one_d_protocol="ahead")
+        model = Felip(dataset.schema, config).fit(dataset, rng=4)
+        binning = model.aggregator.estimate_for((0,)).grid.binning
+        widths = binning.widths
+        centers = (binning.edges[:-1] + binning.edges[1:]) / 2
+        dense = widths[(centers > 24) & (centers < 40)]
+        sparse = widths[(centers < 8) | (centers > 56)]
+        if len(dense) and len(sparse):
+            assert dense.mean() <= sparse.mean()
+
+    def test_streaming_rejects_ahead(self, dataset):
+        with pytest.raises(ConfigurationError):
+            StreamingCollector(dataset.schema,
+                               FelipConfig(one_d_protocol="ahead"),
+                               expected_users=1000)
+
+    def test_invalid_backend_name(self):
+        with pytest.raises(ConfigurationError):
+            FelipConfig(one_d_protocol="quadtree")
+
+
+class TestStreamingSW:
+    def test_sw_reports_merge_across_batches(self, dataset):
+        config = FelipConfig(epsilon=1.0, one_d_protocol="sw")
+        collector = StreamingCollector(dataset.schema, config,
+                                       expected_users=dataset.n, rng=5)
+        for start in range(0, dataset.n, 10_000):
+            collector.observe(dataset.records[start:start + 10_000])
+        model = collector.finalize()
+        q = Query([between("num_0", 16, 48)])
+        assert model.answer(q) == pytest.approx(
+            q.true_answer(dataset), abs=0.12)

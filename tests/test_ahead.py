@@ -1,0 +1,127 @@
+"""Tests for the AHEAD-style adaptive decomposition baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ahead import Ahead1D
+from repro.errors import NotFittedError, QueryError
+from repro.fo import OptimizedLocalHashing
+from repro.postprocess import normalize_non_negative
+
+
+def _skewed_values(n, d, rng):
+    """Mass concentrated in a narrow band — AHEAD's favorable regime."""
+    values = np.clip(np.rint(rng.normal(d * 0.3, d * 0.03, n)), 0,
+                     d - 1).astype(int)
+    return values
+
+
+class TestConstruction:
+    def test_invalid_parameters(self):
+        with pytest.raises(QueryError):
+            Ahead1D(1)
+        with pytest.raises(QueryError):
+            Ahead1D(16, fanout=1)
+        with pytest.raises(QueryError):
+            Ahead1D(16, max_rounds=0)
+
+    def test_answer_before_fit(self):
+        with pytest.raises(NotFittedError):
+            Ahead1D(16).answer_range(0, 3)
+        with pytest.raises(NotFittedError):
+            Ahead1D(16).leaf_intervals()
+
+    def test_split_widths_near_equal(self):
+        parts = Ahead1D._split(0, 9, 4)
+        widths = [hi - lo + 1 for lo, hi in parts]
+        assert sum(widths) == 10
+        assert max(widths) - min(widths) <= 1
+
+    def test_out_of_domain_values_rejected(self):
+        with pytest.raises(QueryError):
+            Ahead1D(16).fit(np.array([16]), rng=0)
+
+
+class TestAdaptivity:
+    def test_leaves_partition_domain(self):
+        rng = np.random.default_rng(1)
+        model = Ahead1D(64, epsilon=1.0).fit(
+            _skewed_values(60_000, 64, rng), rng=rng)
+        leaves = model.leaf_intervals()
+        covered = []
+        for lo, hi in leaves:
+            covered.extend(range(lo, hi + 1))
+        assert sorted(covered) == list(range(64))
+
+    def test_dense_region_gets_finer_leaves(self):
+        rng = np.random.default_rng(2)
+        d = 64
+        model = Ahead1D(d, epsilon=2.0).fit(
+            _skewed_values(120_000, d, rng), rng=rng)
+        widths_dense = [hi - lo + 1 for lo, hi in model.leaf_intervals()
+                        if lo >= d * 0.2 and hi <= d * 0.4]
+        widths_sparse = [hi - lo + 1 for lo, hi in model.leaf_intervals()
+                         if hi >= d * 0.7]
+        assert widths_dense, "no leaves in the dense region"
+        assert np.mean(widths_dense) < np.mean(widths_sparse)
+
+    def test_uniform_data_stops_early(self):
+        # With uniform data all frontier frequencies fall below the
+        # threshold quickly, so the tree stays shallow relative to a
+        # full decomposition into singletons.
+        rng = np.random.default_rng(3)
+        values = rng.integers(0, 256, size=20_000)
+        model = Ahead1D(256, epsilon=1.0).fit(values, rng=rng)
+        assert len(model.leaf_intervals()) < 256
+
+
+class TestAccuracy:
+    def test_range_answers_track_truth(self):
+        rng = np.random.default_rng(4)
+        d, n = 64, 100_000
+        values = _skewed_values(n, d, rng)
+        model = Ahead1D(d, epsilon=1.0).fit(values, rng=rng)
+        for lo, hi in [(0, 31), (10, 25), (40, 63), (19, 20)]:
+            truth = float(np.mean((values >= lo) & (values <= hi)))
+            assert model.answer_range(lo, hi) == pytest.approx(truth,
+                                                               abs=0.12)
+
+    def test_full_domain_is_one(self):
+        rng = np.random.default_rng(5)
+        model = Ahead1D(32, epsilon=1.0).fit(
+            rng.integers(0, 32, 20_000), rng=rng)
+        assert model.answer_range(0, 31) == pytest.approx(1.0, abs=0.05)
+
+    def test_beats_flat_histogram_on_skewed_data(self):
+        # The adaptive tree spends resolution where the data is, so on a
+        # concentrated distribution it should beat a flat OLH histogram
+        # of the full domain built from the same number of users.
+        rng = np.random.default_rng(6)
+        d, n = 256, 80_000
+        values = _skewed_values(n, d, rng)
+        queries = [(int(d * 0.25), int(d * 0.35)),
+                   (int(d * 0.28), int(d * 0.32)),
+                   (0, d // 2 - 1), (d // 2, d - 1)]
+        truth = [float(np.mean((values >= lo) & (values <= hi)))
+                 for lo, hi in queries]
+
+        ahead_err, flat_err = [], []
+        for seed in (7, 8):
+            model = Ahead1D(d, epsilon=0.5).fit(values, rng=seed)
+            est = [model.answer_range(lo, hi) for lo, hi in queries]
+            ahead_err.append(np.abs(np.array(est) - truth).mean())
+            flat = normalize_non_negative(
+                OptimizedLocalHashing(0.5, d).run(
+                    values, np.random.default_rng(seed)))
+            est = [flat[lo:hi + 1].sum() for lo, hi in queries]
+            flat_err.append(np.abs(np.array(est) - truth).mean())
+        assert np.mean(ahead_err) < np.mean(flat_err) * 1.5
+
+    def test_query_validation(self):
+        rng = np.random.default_rng(9)
+        model = Ahead1D(16, epsilon=1.0).fit(
+            rng.integers(0, 16, 1000), rng=rng)
+        with pytest.raises(QueryError):
+            model.answer_range(5, 4)
+        with pytest.raises(QueryError):
+            model.answer_range(0, 16)

@@ -1,0 +1,163 @@
+"""Tests for the error-budget analysis module."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ErrorBreakdown,
+    collection_report,
+    grid_error_breakdown,
+    predict_query_error,
+)
+from repro.core import FelipConfig, plan_grids
+from repro.errors import QueryError
+from repro.grids import Grid1D, Grid2D
+from repro.grids.sizing import (
+    SizingParams,
+    error_1d_categorical,
+    error_1d_numerical,
+    error_2d_num_cat,
+    error_2d_numerical,
+)
+from repro.queries import Query, between, isin
+from repro.schema import Schema
+from repro.schema.attribute import categorical, numerical
+
+
+@pytest.fixture
+def schema():
+    return Schema([numerical("x", 64), numerical("y", 64),
+                   categorical("c", 4)])
+
+
+@pytest.fixture
+def config():
+    return FelipConfig(epsilon=1.0, strategy="ohg")
+
+
+class TestErrorBreakdown:
+    def test_total_and_addition(self):
+        a = ErrorBreakdown(0.1, 0.2)
+        b = ErrorBreakdown(0.3, 0.4)
+        assert a.total == pytest.approx(0.3)
+        combined = a + b
+        assert combined.noise_sampling == pytest.approx(0.4)
+        assert combined.non_uniformity == pytest.approx(0.6)
+
+
+class TestGridBreakdownMatchesSizingObjectives:
+    """The analysis parts must sum to the objectives the planner minimizes."""
+
+    def test_1d_numerical(self, schema, config):
+        plans = plan_grids(schema, config, n=100_000)
+        params = SizingParams(epsilon=1.0, n=100_000, m=len(plans))
+        planned = next(p for p in plans if p.key == (0,))
+        breakdown = grid_error_breakdown(planned, params, 0.3)
+        expected = error_1d_numerical(planned.num_cells, 0.3, params,
+                                      planned.protocol)
+        assert breakdown.total == pytest.approx(expected)
+
+    def test_2d_numerical(self, schema, config):
+        plans = plan_grids(schema, config, n=100_000)
+        params = SizingParams(epsilon=1.0, n=100_000, m=len(plans))
+        planned = next(p for p in plans if p.key == (0, 1))
+        breakdown = grid_error_breakdown(planned, params, 0.3, 0.7)
+        lx, ly = planned.grid.shape
+        expected = error_2d_numerical(lx, ly, 0.3, 0.7, params,
+                                      planned.protocol)
+        assert breakdown.total == pytest.approx(expected)
+
+    def test_2d_num_cat(self, schema, config):
+        plans = plan_grids(schema, config, n=100_000)
+        params = SizingParams(epsilon=1.0, n=100_000, m=len(plans))
+        planned = next(p for p in plans if p.key == (0, 2))
+        breakdown = grid_error_breakdown(planned, params, 0.3, 0.5)
+        lx, ly = planned.grid.shape
+        expected = error_2d_num_cat(lx, ly, 0.3, 0.5, params,
+                                    planned.protocol)
+        assert breakdown.total == pytest.approx(expected)
+
+    def test_categorical_has_zero_non_uniformity(self, schema, config):
+        plans = plan_grids(schema, config, n=100_000)
+        params = SizingParams(epsilon=1.0, n=100_000, m=len(plans))
+        # A fully trivial-binned axis contributes no uniformity error.
+        planned = next(p for p in plans if p.key == (0, 2))
+        breakdown = grid_error_breakdown(planned, params, 1.0, 0.5)
+        assert breakdown.non_uniformity >= 0.0
+        cat_1d = Schema([categorical("a", 4), categorical("b", 3)])
+        cat_plans = plan_grids(cat_1d, FelipConfig(strategy="oug"),
+                               n=10_000)
+        cat_params = SizingParams(epsilon=1.0, n=10_000, m=len(cat_plans))
+        cat_breakdown = grid_error_breakdown(cat_plans[0], cat_params,
+                                             0.5, 0.5)
+        assert cat_breakdown.non_uniformity == 0.0
+
+
+class TestPredictQueryError:
+    def test_single_predicate_uses_1d_grid(self, schema, config):
+        q = Query([between("x", 0, 31)])
+        breakdown = predict_query_error(schema, config, 100_000, q)
+        assert breakdown.total > 0
+
+    def test_single_predicate_under_oug_uses_pair(self, schema):
+        config = FelipConfig(strategy="oug")
+        q = Query([isin("c", [0])])
+        breakdown = predict_query_error(schema, config, 100_000, q)
+        assert breakdown.total > 0
+
+    def test_pair_prediction_tracks_selectivity(self, schema, config):
+        narrow = Query([between("x", 0, 5), between("y", 0, 5)])
+        wide = Query([between("x", 0, 60), between("y", 0, 60)])
+        e_narrow = predict_query_error(schema, config, 100_000, narrow)
+        e_wide = predict_query_error(schema, config, 100_000, wide)
+        assert e_wide.noise_sampling > e_narrow.noise_sampling
+
+    def test_lambda3_sums_pairs(self, schema, config):
+        q3 = Query([between("x", 0, 31), between("y", 0, 31),
+                    isin("c", [0, 1])])
+        plans = plan_grids(schema, config, 100_000)
+        total = predict_query_error(schema, config, 100_000, q3,
+                                    plans=plans)
+        pair_sum = ErrorBreakdown(0.0, 0.0)
+        for pair in (Query([between("x", 0, 31), between("y", 0, 31)]),
+                     Query([between("x", 0, 31), isin("c", [0, 1])]),
+                     Query([between("y", 0, 31), isin("c", [0, 1])])):
+            pair_sum = pair_sum + predict_query_error(
+                schema, config, 100_000, pair, plans=plans)
+        assert total.total == pytest.approx(pair_sum.total)
+
+    def test_more_users_lower_budget(self, schema, config):
+        q = Query([between("x", 0, 31), between("y", 0, 31)])
+        small = predict_query_error(schema, config, 10_000, q)
+        large = predict_query_error(schema, config, 1_000_000, q)
+        assert large.total < small.total
+
+    def test_invalid_query_rejected(self, schema, config):
+        q = Query([between("missing", 0, 1)])
+        with pytest.raises(QueryError):
+            predict_query_error(schema, config, 1000, q)
+
+
+class TestCollectionReport:
+    def test_one_row_per_grid(self, schema, config):
+        plans = plan_grids(schema, config, 50_000)
+        table = collection_report(schema, config, 50_000)
+        assert len(table.rows) == len(plans)
+        assert "protocol" in table.columns
+
+    def test_rows_name_attributes(self, schema, config):
+        table = collection_report(schema, config, 50_000)
+        names = [row[0] for row in table.rows]
+        assert "x" in names           # 1-D grid of attribute x
+        assert "xxy" in names         # pair grid named "x" x "y"
+
+    def test_prediction_is_consistent_with_planner(self, schema, config):
+        # Evaluated at the planning prior, each grid's reported total must
+        # match the predicted error the planner stored (when finite).
+        plans = plan_grids(schema, config, 50_000)
+        params = SizingParams(epsilon=1.0, n=50_000, m=len(plans))
+        r = config.expected_selectivity
+        for planned in plans:
+            breakdown = grid_error_breakdown(planned, params, r, r)
+            assert breakdown.total == pytest.approx(
+                planned.predicted_error, rel=1e-9)

@@ -1,0 +1,143 @@
+"""Tests for the HIO and TDG/HDG baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import HDG, HIO, TDG
+from repro.data import normal_dataset, uniform_dataset
+from repro.errors import NotFittedError, QueryError
+from repro.grids import Grid1D, Grid2D
+from repro.queries import Query, WorkloadSpec, between, isin, \
+    random_workload
+from repro.queries.query import true_answers
+from repro.schema import Schema
+from repro.schema.attribute import categorical, numerical
+
+
+@pytest.fixture
+def dataset():
+    return uniform_dataset(20_000, num_numerical=2, num_categorical=1,
+                           numerical_domain=16, categorical_domain=4,
+                           rng=3)
+
+
+class TestHIO:
+    def test_group_count_is_product_of_levels(self, dataset):
+        hio = HIO(dataset.schema, epsilon=1.0)
+        expected = 1
+        for h in hio.hierarchies:
+            expected *= h.num_levels
+        assert hio.num_groups == expected
+        assert len(hio.level_combos()) == expected
+
+    def test_answer_before_fit_raises(self, dataset):
+        hio = HIO(dataset.schema)
+        with pytest.raises(NotFittedError):
+            hio.answer(Query([between("num_0", 0, 7)]))
+
+    def test_schema_mismatch_rejected(self, dataset):
+        other = Schema([numerical("z", 4), numerical("w", 4)])
+        with pytest.raises(QueryError):
+            HIO(other).fit(dataset)
+
+    def test_full_domain_query_estimates_near_one(self, dataset):
+        hio = HIO(dataset.schema, epsilon=2.0).fit(dataset, rng=4)
+        q = Query([between("num_0", 0, 15)])
+        assert hio.answer(q) == pytest.approx(1.0, abs=0.15)
+
+    def test_range_query_accuracy_at_high_budget(self, dataset):
+        hio = HIO(dataset.schema, epsilon=4.0).fit(dataset, rng=5)
+        q = Query([between("num_0", 0, 7)])
+        assert hio.answer(q) == pytest.approx(0.5, abs=0.2)
+
+    def test_categorical_point_query(self, dataset):
+        hio = HIO(dataset.schema, epsilon=4.0).fit(dataset, rng=6)
+        q = Query([isin("cat_0", [0, 1])])
+        assert hio.answer(q) == pytest.approx(0.5, abs=0.25)
+
+    def test_estimates_are_memoized(self, dataset):
+        hio = HIO(dataset.schema, epsilon=1.0).fit(dataset, rng=7)
+        q = Query([between("num_0", 0, 7)])
+        hio.answer(q)
+        cached = len(hio._cache)
+        hio.answer(q)
+        assert len(hio._cache) == cached
+
+    def test_term_cap_triggers_coarsening(self, dataset):
+        hio = HIO(dataset.schema, epsilon=1.0, term_cap=2).fit(dataset,
+                                                               rng=8)
+        q = Query([between("num_0", 1, 14), between("num_1", 1, 14)])
+        # Must not raise and must produce a finite, bounded answer.
+        answer = hio.answer(q)
+        assert 0.0 <= answer <= 5.0
+
+    def test_answers_non_negative(self, dataset):
+        hio = HIO(dataset.schema, epsilon=0.5).fit(dataset, rng=9)
+        q = Query([between("num_0", 0, 0), isin("cat_0", [3])])
+        assert hio.answer(q) >= 0.0
+
+    def test_invalid_parameters(self, dataset):
+        with pytest.raises(QueryError):
+            HIO(dataset.schema, branching=1)
+        with pytest.raises(QueryError):
+            HIO(dataset.schema, term_cap=0)
+
+
+class TestTDGHDG:
+    @pytest.fixture
+    def numeric_data(self):
+        return uniform_dataset(20_000, num_numerical=4, num_categorical=0,
+                               numerical_domain=64, rng=10)
+
+    def test_tdg_has_no_1d_grids(self, numeric_data):
+        model = TDG(numeric_data.schema).fit(numeric_data, rng=1)
+        assert all(isinstance(p.grid, Grid2D) for p in model.grid_plans)
+
+    def test_hdg_has_1d_grids(self, numeric_data):
+        model = HDG(numeric_data.schema).fit(numeric_data, rng=1)
+        kinds = {type(p.grid) for p in model.grid_plans}
+        assert kinds == {Grid1D, Grid2D}
+
+    def test_all_protocols_are_olh(self, numeric_data):
+        for cls in (TDG, HDG):
+            model = cls(numeric_data.schema).fit(numeric_data, rng=2)
+            assert all(p.protocol == "olh" for p in model.grid_plans)
+
+    def test_shared_power_of_two_granularity(self, numeric_data):
+        model = HDG(numeric_data.schema).fit(numeric_data, rng=3)
+        sizes_2d = {p.grid.binning_x.num_cells for p in model.grid_plans
+                    if isinstance(p.grid, Grid2D)}
+        assert len(sizes_2d) == 1
+        g2 = sizes_2d.pop()
+        assert g2 & (g2 - 1) == 0
+
+    def test_reasonable_range_query_accuracy(self, numeric_data):
+        qs = random_workload(
+            numeric_data.schema,
+            WorkloadSpec(num_queries=5, dimension=2, selectivity=0.5,
+                         range_only=True), rng=4)
+        truths = true_answers(qs, numeric_data)
+        for cls in (TDG, HDG):
+            model = cls(numeric_data.schema, epsilon=2.0).fit(
+                numeric_data, rng=5)
+            estimates = model.answer_workload(qs)
+            assert np.abs(estimates - truths).mean() < 0.15
+
+
+class TestOrderings:
+    """The qualitative orderings the paper's figures rely on."""
+
+    def test_ohg_beats_hio_on_skewed_data(self):
+        dataset = normal_dataset(40_000, num_numerical=2,
+                                 num_categorical=1, numerical_domain=32,
+                                 categorical_domain=4, rng=11)
+        qs = random_workload(dataset.schema,
+                             WorkloadSpec(num_queries=8, dimension=2),
+                             rng=12)
+        truths = true_answers(qs, dataset)
+        from repro import Felip
+        ohg = Felip.ohg(dataset.schema, epsilon=1.0).fit(dataset, rng=13)
+        hio = HIO(dataset.schema, epsilon=1.0).fit(dataset, rng=13)
+        ohg_mae = np.abs(ohg.answer_workload(qs) - truths).mean()
+        hio_mae = np.abs(hio.answer_workload(qs) - truths).mean()
+        assert ohg_mae < hio_mae

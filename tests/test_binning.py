@@ -1,0 +1,110 @@
+"""Tests for repro.grids.binning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GridError
+from repro.grids import Binning
+
+
+class TestConstruction:
+    def test_even_split(self):
+        b = Binning(100, 4)
+        np.testing.assert_array_equal(b.widths, [25, 25, 25, 25])
+        np.testing.assert_array_equal(b.edges, [0, 25, 50, 75, 100])
+
+    def test_uneven_split_front_loads_extra(self):
+        # FELIP's key feature: any l works, widths differ by at most one.
+        b = Binning(10, 3)
+        np.testing.assert_array_equal(b.widths, [4, 3, 3])
+
+    def test_single_cell(self):
+        b = Binning(7, 1)
+        assert b.bounds(0) == (0, 6)
+
+    def test_trivial_binning(self):
+        b = Binning(5, 5)
+        assert b.is_trivial
+        assert all(b.width(c) == 1 for c in range(5))
+
+    def test_widths_differ_by_at_most_one(self):
+        for d in (7, 16, 100, 101):
+            for l in range(1, min(d, 20) + 1):
+                widths = Binning(d, l).widths
+                assert widths.max() - widths.min() <= 1
+                assert widths.sum() == d
+
+    @pytest.mark.parametrize("d,l", [(0, 1), (5, 0), (5, 6)])
+    def test_invalid_parameters(self, d, l):
+        with pytest.raises(GridError):
+            Binning(d, l)
+
+    def test_equality(self):
+        assert Binning(10, 3) == Binning(10, 3)
+        assert Binning(10, 3) != Binning(10, 4)
+
+
+class TestCellMapping:
+    def test_cell_of_round_trip(self):
+        b = Binning(10, 3)
+        cells = b.cell_of(np.arange(10))
+        np.testing.assert_array_equal(cells, [0, 0, 0, 0, 1, 1, 1,
+                                              2, 2, 2])
+
+    def test_cell_of_matches_bounds(self):
+        b = Binning(37, 5)
+        for c in range(5):
+            lo, hi = b.bounds(c)
+            assert b.cell_of(np.array([lo]))[0] == c
+            assert b.cell_of(np.array([hi]))[0] == c
+
+    def test_out_of_domain_codes_rejected(self):
+        b = Binning(10, 3)
+        with pytest.raises(GridError):
+            b.cell_of(np.array([10]))
+        with pytest.raises(GridError):
+            b.cell_of(np.array([-1]))
+
+    def test_bounds_out_of_range(self):
+        b = Binning(10, 3)
+        with pytest.raises(GridError):
+            b.bounds(3)
+
+
+class TestRangeQueries:
+    def test_covering_cells(self):
+        b = Binning(10, 5)  # widths 2,2,2,2,2
+        assert b.covering_cells(3, 7) == (1, 3)
+        assert b.covering_cells(0, 9) == (0, 4)
+        assert b.covering_cells(4, 4) == (2, 2)
+
+    def test_covering_cells_invalid(self):
+        b = Binning(10, 5)
+        with pytest.raises(GridError):
+            b.covering_cells(5, 4)
+        with pytest.raises(GridError):
+            b.covering_cells(0, 10)
+
+    def test_overlap_fraction(self):
+        b = Binning(10, 2)  # cells [0..4], [5..9]
+        assert b.overlap_fraction(0, 0, 4) == 1.0
+        assert b.overlap_fraction(0, 3, 9) == pytest.approx(2 / 5)
+        assert b.overlap_fraction(1, 0, 4) == 0.0
+
+    def test_range_weights_structure(self):
+        b = Binning(10, 5)
+        weights = b.range_weights(1, 8)
+        # Cell 0 covers [0,1] -> half; cells 1-3 full; cell 4 covers [8,9]
+        # -> half.
+        np.testing.assert_allclose(weights, [0.5, 1, 1, 1, 0.5])
+
+    def test_range_weights_mass_equals_range_length(self):
+        # Sum of weights * cell widths == number of codes in the range.
+        b = Binning(37, 6)
+        lo, hi = 5, 30
+        weights = b.range_weights(lo, hi)
+        assert float(weights @ b.widths) == pytest.approx(hi - lo + 1)
+
+    def test_full_domain_weights_are_ones(self):
+        b = Binning(23, 7)
+        np.testing.assert_allclose(b.range_weights(0, 22), np.ones(7))

@@ -1,0 +1,81 @@
+"""Tests for repro.data.io (CSV round-trip)."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, uniform_dataset
+from repro.data.io import load_csv, save_csv
+from repro.errors import DataError
+from repro.schema import Schema
+from repro.schema.attribute import categorical, numerical
+
+
+class TestRoundTrip:
+    def test_round_trip_preserves_everything(self, tmp_path):
+        original = uniform_dataset(200, num_numerical=2, num_categorical=1,
+                                   numerical_domain=16,
+                                   categorical_domain=3, rng=1)
+        path = tmp_path / "data.csv"
+        save_csv(original, path)
+        loaded = load_csv(path)
+        assert loaded.schema.names == original.schema.names
+        assert loaded.schema.domain_sizes == original.schema.domain_sizes
+        np.testing.assert_array_equal(loaded.records, original.records)
+
+    def test_real_range_metadata_survives(self, tmp_path):
+        schema = Schema([numerical("age", 10, lo=0.0, hi=100.0),
+                         categorical("c", 2)])
+        original = Dataset(schema, np.array([[3, 1], [9, 0]]))
+        path = tmp_path / "data.csv"
+        save_csv(original, path)
+        loaded = load_csv(path)
+        attr = loaded.schema["age"]
+        assert attr.lo == 0.0 and attr.hi == 100.0
+
+    def test_empty_dataset_round_trip(self, tmp_path):
+        schema = Schema([numerical("x", 4)])
+        original = Dataset(schema, np.empty((0, 1), dtype=np.int64))
+        path = tmp_path / "empty.csv"
+        save_csv(original, path)
+        loaded = load_csv(path)
+        assert loaded.n == 0
+        assert loaded.schema.names == ["x"]
+
+
+class TestMalformedFiles:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DataError):
+            load_csv(path)
+
+    def test_bad_header_field(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x:num\n1\n")
+        with pytest.raises(DataError):
+            load_csv(path)
+
+    def test_unknown_kind(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x:blob:4\n1\n")
+        with pytest.raises(DataError):
+            load_csv(path)
+
+    def test_row_width_mismatch_reports_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x:num:4,y:num:4\n1,2\n3\n")
+        with pytest.raises(DataError) as excinfo:
+            load_csv(path)
+        assert ":3" in str(excinfo.value)
+
+    def test_non_integer_cell(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x:num:4\nfoo\n")
+        with pytest.raises(DataError):
+            load_csv(path)
+
+    def test_out_of_domain_value_rejected_on_load(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x:num:4\n7\n")
+        with pytest.raises(DataError):
+            load_csv(path)

@@ -1,0 +1,112 @@
+"""Tests for the distribution-level metrics and the report writer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.experiments.report import (
+    build_report,
+    table_to_markdown,
+    write_report,
+)
+from repro.experiments.scenario import FigureScale
+from repro.metrics import (
+    ResultTable,
+    kl_divergence,
+    marginal_report,
+    total_variation,
+    wasserstein_1d,
+)
+
+
+class TestTotalVariation:
+    def test_identical_distributions(self):
+        p = np.array([0.25, 0.25, 0.5])
+        assert total_variation(p, p) == 0.0
+
+    def test_disjoint_point_masses(self):
+        assert total_variation([1.0, 0.0], [0.0, 1.0]) == \
+            pytest.approx(1.0)
+
+    def test_half_l1(self):
+        assert total_variation([0.6, 0.4], [0.4, 0.6]) == \
+            pytest.approx(0.2)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(EstimationError):
+            total_variation([0.5], [0.5, 0.5])
+
+    def test_negative_rejected(self):
+        with pytest.raises(EstimationError):
+            total_variation([-0.5, 1.5], [0.5, 0.5])
+
+
+class TestKL:
+    def test_zero_for_identical(self):
+        p = np.array([0.3, 0.7])
+        assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-9)
+
+    def test_positive_and_asymmetric(self):
+        p = np.array([0.9, 0.1])
+        q = np.array([0.5, 0.5])
+        assert kl_divergence(q, p) > 0
+        assert kl_divergence(q, p) != pytest.approx(kl_divergence(p, q))
+
+    def test_floor_prevents_infinity(self):
+        value = kl_divergence([1.0, 0.0], [0.5, 0.5])
+        assert np.isfinite(value)
+
+
+class TestWasserstein:
+    def test_adjacent_shift_costs_one(self):
+        # Moving all mass one bucket over costs exactly 1 code unit.
+        p = np.array([1.0, 0.0, 0.0])
+        q = np.array([0.0, 1.0, 0.0])
+        assert wasserstein_1d(p, q) == pytest.approx(1.0)
+
+    def test_far_shift_costs_more_than_near(self):
+        p = np.array([1.0, 0.0, 0.0, 0.0])
+        near = np.array([0.0, 1.0, 0.0, 0.0])
+        far = np.array([0.0, 0.0, 0.0, 1.0])
+        assert wasserstein_1d(p, far) > wasserstein_1d(p, near)
+
+    def test_tv_blind_where_emd_is_not(self):
+        # TV treats any disjoint supports as distance 1; EMD grades them.
+        p = np.array([1.0, 0.0, 0.0, 0.0])
+        near = np.array([0.0, 1.0, 0.0, 0.0])
+        far = np.array([0.0, 0.0, 0.0, 1.0])
+        assert total_variation(p, near) == total_variation(p, far)
+        assert wasserstein_1d(p, near) < wasserstein_1d(p, far)
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(EstimationError):
+            wasserstein_1d([0.0, 0.0], [0.5, 0.5])
+
+    def test_marginal_report_keys(self):
+        report = marginal_report([0.5, 0.5], [0.6, 0.4])
+        assert set(report) == {"total_variation", "kl_divergence",
+                               "wasserstein_1d"}
+
+
+class TestMarkdownReport:
+    def _table(self):
+        t = ResultTable(["dataset", "mae"], title="Demo table")
+        t.add_row("uniform", 0.0123)
+        return t
+
+    def test_table_markdown_structure(self):
+        md = table_to_markdown(self._table())
+        assert md.startswith("### Demo table")
+        assert "| dataset | mae |" in md
+        assert "| uniform | 0.012300 |" in md
+
+    def test_build_report_includes_scale(self):
+        report = build_report([self._table()],
+                              scale=FigureScale(users=1234))
+        assert "users: 1234" in report
+        assert "Demo table" in report
+
+    def test_write_report_creates_file(self, tmp_path):
+        path = write_report([self._table()], tmp_path / "sub" / "r.md")
+        assert path.exists()
+        assert "Demo table" in path.read_text()

@@ -1,0 +1,104 @@
+"""Property-based tests on the estimation algorithms (hypothesis).
+
+Pins the invariants Algorithms 3 and 4 must satisfy for *any* valid
+input: response matrices reproduce their grid constraints, stay
+non-negative, and conserve mass; λ-D estimates respect the Fréchet bounds
+implied by their pairwise answers.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimation import (
+    PairAnswers,
+    build_response_matrix,
+    estimate_lambda_query,
+)
+from repro.grids import Binning, Grid2D, GridEstimate
+from repro.schema.attribute import numerical
+
+
+def _random_grid_estimate(di, dj, lx, ly, frequencies):
+    grid = Grid2D(0, 1, numerical("x", di), numerical("y", dj),
+                  Binning(di, lx), Binning(dj, ly))
+    return GridEstimate(grid=grid, frequencies=np.asarray(frequencies))
+
+
+grid_shapes = st.tuples(st.integers(2, 16), st.integers(2, 16)).flatmap(
+    lambda dd: st.tuples(st.just(dd[0]), st.just(dd[1]),
+                         st.integers(1, dd[0]), st.integers(1, dd[1])))
+
+
+class TestResponseMatrixProperties:
+    @given(grid_shapes, st.randoms(use_true_random=False))
+    @settings(max_examples=30, deadline=None)
+    def test_matrix_reproduces_cell_masses(self, shape, random):
+        di, dj, lx, ly = shape
+        rng = np.random.default_rng(random.randint(0, 2**31))
+        freqs = rng.dirichlet(np.ones(lx * ly))
+        est = _random_grid_estimate(di, dj, lx, ly, freqs)
+        m = build_response_matrix([est], 0, 1, di, dj, n=1_000_000,
+                                  max_iters=300)
+        matrix = est.matrix()
+        for cx in range(lx):
+            x_lo, x_hi = est.grid.binning_x.bounds(cx)
+            for cy in range(ly):
+                y_lo, y_hi = est.grid.binning_y.bounds(cy)
+                block = m[x_lo:x_hi + 1, y_lo:y_hi + 1].sum()
+                assert block == pytest.approx(matrix[cx, cy], abs=1e-4)
+
+    @given(grid_shapes, st.randoms(use_true_random=False))
+    @settings(max_examples=30, deadline=None)
+    def test_matrix_non_negative_and_mass_one(self, shape, random):
+        di, dj, lx, ly = shape
+        rng = np.random.default_rng(random.randint(0, 2**31))
+        freqs = rng.dirichlet(np.ones(lx * ly))
+        est = _random_grid_estimate(di, dj, lx, ly, freqs)
+        m = build_response_matrix([est], 0, 1, di, dj, n=100_000)
+        assert (m >= -1e-12).all()
+        assert m.sum() == pytest.approx(1.0, abs=1e-6)
+
+
+def _pair_answers_from_probs(rng, dimension):
+    """Exact pairwise tables of a random joint over {0,1}^dimension."""
+    joint = rng.dirichlet(np.ones(2 ** dimension)).reshape(
+        (2,) * dimension)
+    answers = {}
+    for i in range(dimension):
+        for j in range(i + 1, dimension):
+            axes = tuple(t for t in range(dimension) if t not in (i, j))
+            table = joint.sum(axis=axes)
+            answers[(i, j)] = PairAnswers(pp=float(table[1, 1]),
+                                          pn=float(table[1, 0]),
+                                          np_=float(table[0, 1]),
+                                          nn=float(table[0, 0]))
+    return answers
+
+
+class TestLambdaQueryProperties:
+    @given(st.integers(3, 6), st.randoms(use_true_random=False))
+    @settings(max_examples=30, deadline=None)
+    def test_estimate_within_frechet_bounds(self, dimension, random):
+        rng = np.random.default_rng(random.randint(0, 2**31))
+        answers = _pair_answers_from_probs(rng, dimension)
+        estimate = estimate_lambda_query(answers, dimension, n=10**6,
+                                         max_iters=300)
+        upper = min(a.pp for a in answers.values())
+        assert -1e-9 <= estimate <= upper + 1e-6
+
+    @given(st.integers(2, 5), st.floats(0.05, 0.95),
+           st.randoms(use_true_random=False))
+    @settings(max_examples=30, deadline=None)
+    def test_independent_pairs_give_product(self, dimension, prob,
+                                            random):
+        answers = {}
+        for i in range(dimension):
+            for j in range(i + 1, dimension):
+                answers[(i, j)] = PairAnswers(
+                    pp=prob * prob, pn=prob * (1 - prob),
+                    np_=(1 - prob) * prob, nn=(1 - prob) ** 2)
+        estimate = estimate_lambda_query(answers, dimension, n=10**7,
+                                         max_iters=500)
+        assert estimate == pytest.approx(prob ** dimension, abs=5e-3)

@@ -1,0 +1,171 @@
+"""Tests for the experiment harness (scenarios, runner, figures, CLI)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    DatasetSpec,
+    FigureScale,
+    STRATEGY_NAMES,
+    evaluate_strategy,
+    make_strategy,
+)
+from repro.experiments.ablations import ALL_ABLATIONS
+from repro.experiments.cli import main as cli_main
+from repro.experiments.figures import ALL_FIGURES, figure1, figure7
+from repro.queries import WorkloadSpec, random_workload
+
+TINY = FigureScale(users=4_000, queries=3, numerical_domain=16,
+                   categorical_domain=3, seed=99)
+
+
+class TestDatasetSpec:
+    def test_build_each_kind(self):
+        for kind in ("uniform", "normal", "zipf", "ipums", "loan"):
+            spec = DatasetSpec(kind=kind, n=500, numerical_domain=8)
+            ds = spec.build(rng=1)
+            assert ds.n == 500
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DatasetSpec(kind="mystery", n=10)
+
+    def test_with_attributes_synthetic(self):
+        spec = DatasetSpec(kind="uniform", n=100).with_attributes(7)
+        assert spec.num_numerical + spec.num_categorical == 7
+
+    def test_with_attributes_noop_when_matching(self):
+        spec = DatasetSpec(kind="uniform", n=100, num_numerical=6,
+                           num_categorical=0)
+        assert spec.with_attributes(6) is spec
+
+    def test_build_projected_real_data(self):
+        spec = DatasetSpec(kind="ipums", n=200, numerical_domain=8)
+        ds = spec.build_projected(4, rng=2)
+        assert ds.k == 4
+        kinds = [ds.schema[i].is_numerical for i in range(4)]
+        assert any(kinds) and not all(kinds)  # mixed attribute kinds
+
+    def test_build_projected_synthetic_adjusts_schema(self):
+        spec = DatasetSpec(kind="uniform", n=100)
+        ds = spec.build_projected(8, rng=3)
+        assert ds.k == 8
+
+
+class TestRunner:
+    def test_all_strategies_registered(self):
+        assert set(STRATEGY_NAMES) == {"oug", "ohg", "oug-olh", "ohg-olh",
+                                       "hio", "tdg", "hdg"}
+
+    def test_make_strategy_unknown_name(self, mixed_schema):
+        with pytest.raises(ConfigurationError):
+            make_strategy("unknown", mixed_schema, 1.0)
+
+    def test_selectivity_passed_to_felip(self, mixed_schema):
+        model = make_strategy("ohg", mixed_schema, 1.0, selectivity=0.2)
+        assert model.config.expected_selectivity == 0.2
+
+    def test_tdg_ignores_selectivity(self, mixed_schema):
+        model = make_strategy("tdg", mixed_schema, 1.0, selectivity=0.2)
+        assert model.config.expected_selectivity == 0.5
+
+    def test_evaluate_strategy_result_fields(self, mixed_dataset):
+        queries = random_workload(mixed_dataset.schema,
+                                  WorkloadSpec(num_queries=3), rng=1)
+        result = evaluate_strategy("ohg", mixed_dataset, queries, 1.0,
+                                   rng=2)
+        assert result.strategy == "ohg"
+        assert result.mae >= 0
+        assert len(result.estimates) == 3
+        assert result.fit_seconds > 0
+
+    def test_repeats_average(self, mixed_dataset):
+        queries = random_workload(mixed_dataset.schema,
+                                  WorkloadSpec(num_queries=2), rng=3)
+        result = evaluate_strategy("oug", mixed_dataset, queries, 1.0,
+                                   rng=4, repeats=2)
+        assert result.mae >= 0
+
+    def test_invalid_repeats(self, mixed_dataset):
+        queries = random_workload(mixed_dataset.schema,
+                                  WorkloadSpec(num_queries=2), rng=5)
+        with pytest.raises(ConfigurationError):
+            evaluate_strategy("oug", mixed_dataset, queries, 1.0,
+                              repeats=0)
+
+
+class TestFigures:
+    def test_figure1_structure(self):
+        table = figure1(TINY, datasets=("uniform",), epsilons=(1.0,),
+                        lambdas=(2,), strategies=("oug", "ohg"))
+        assert table.columns == ["dataset", "lambda", "epsilon", "oug",
+                                 "ohg"]
+        assert len(table.rows) == 1
+        row = table.to_dicts()[0]
+        assert float(row["oug"]) >= 0
+
+    def test_figure7_structure(self):
+        table = figure7(TINY, datasets=("uniform",), epsilons=(1.0,))
+        assert len(table.rows) == 1
+        assert "tdg" in table.columns and "ohg" in table.columns
+
+    def test_all_figures_registered(self):
+        assert set(ALL_FIGURES) == {f"fig{i}" for i in range(1, 8)}
+
+    def test_figures_are_deterministic(self):
+        a = figure1(TINY, datasets=("uniform",), epsilons=(1.0,),
+                    lambdas=(2,), strategies=("oug",))
+        b = figure1(TINY, datasets=("uniform",), epsilons=(1.0,),
+                    lambdas=(2,), strategies=("oug",))
+        assert a.rows == b.rows
+
+
+class TestAblations:
+    def test_all_ablations_run_at_tiny_scale(self):
+        for name, fn in ALL_ABLATIONS.items():
+            table = fn(scale=TINY, datasets=("uniform",))
+            assert len(table.rows) == 1, name
+            for cell in table.rows[0][1:]:
+                assert float(cell) >= 0
+
+
+class TestCLI:
+    def test_fig1_smoke(self, capsys):
+        code = cli_main(["fig1", "--users", "3000", "--queries", "2",
+                         "--numerical-domain", "16", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "oug" in out
+
+    def test_csv_output(self, tmp_path, capsys):
+        code = cli_main(["fig7", "--users", "3000", "--queries", "2",
+                         "--numerical-domain", "16",
+                         "--csv", str(tmp_path)])
+        assert code == 0
+        assert (tmp_path / "fig7.csv").exists()
+        header = (tmp_path / "fig7.csv").read_text().splitlines()[0]
+        assert header.startswith("dataset,epsilon")
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["fig99"])
+
+    def test_markdown_report_flag(self, tmp_path, capsys):
+        report = tmp_path / "run.md"
+        code = cli_main(["fig7", "--users", "3000", "--queries", "2",
+                         "--numerical-domain", "16",
+                         "--report", str(report)])
+        assert code == 0
+        text = report.read_text()
+        assert text.startswith("# FELIP evaluation run")
+        assert "adaptive protocol" in text
+
+    def test_plan_target(self, capsys):
+        code = cli_main(["plan", "--users", "5000", "--dataset",
+                         "uniform", "--numerical-domain", "16"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Collection plan" in out
+        assert "protocol" in out

@@ -1,0 +1,137 @@
+"""Tests for the extension protocols: SUE, SHE, THE."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import PrivacyError, ProtocolError
+from repro.fo import (
+    OptimizedUnaryEncoding,
+    SummationHistogramEncoding,
+    SymmetricUnaryEncoding,
+    ThresholdHistogramEncoding,
+    make_oracle,
+    oue_variance,
+    sue_variance,
+)
+
+
+class TestSUE:
+    def test_symmetric_probabilities(self):
+        oracle = SymmetricUnaryEncoding(1.0, 8)
+        half = math.exp(0.5)
+        assert oracle.p == pytest.approx(half / (half + 1))
+        assert oracle.p + oracle.q == pytest.approx(1.0)
+
+    def test_unbiased(self):
+        rng = np.random.default_rng(1)
+        oracle = SymmetricUnaryEncoding(1.0, 10)
+        values = np.full(50_000, 4)
+        estimates = [oracle.run(values, rng)[4] for _ in range(30)]
+        assert np.mean(estimates) == pytest.approx(1.0, abs=0.02)
+
+    def test_oue_dominates_sue(self):
+        # The reason OUE exists: same family, strictly lower variance.
+        for eps in (0.5, 1.0, 2.0, 4.0):
+            assert oue_variance(eps, 100) < sue_variance(eps, 100)
+
+    def test_empirical_variance(self):
+        rng = np.random.default_rng(2)
+        n = 40_000
+        oracle = SymmetricUnaryEncoding(1.0, 8)
+        values = rng.integers(0, 8, size=n)
+        estimates = [oracle.run(values, rng)[2] for _ in range(50)]
+        assert np.var(estimates, ddof=1) == pytest.approx(
+            oracle.theoretical_variance(n), rel=0.5)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(PrivacyError):
+            sue_variance(0.0)
+
+
+class TestSHE:
+    def test_unbiased(self):
+        rng = np.random.default_rng(3)
+        oracle = SummationHistogramEncoding(1.0, 10)
+        values = np.full(30_000, 7)
+        estimates = [oracle.run(values, rng)[7] for _ in range(30)]
+        assert np.mean(estimates) == pytest.approx(1.0, abs=0.02)
+
+    def test_variance_matches_laplace(self):
+        rng = np.random.default_rng(4)
+        n = 30_000
+        oracle = SummationHistogramEncoding(1.0, 6)
+        values = rng.integers(0, 6, size=n)
+        estimates = [oracle.run(values, rng)[0] for _ in range(50)]
+        assert np.var(estimates, ddof=1) == pytest.approx(
+            oracle.theoretical_variance(n), rel=0.5)
+
+    def test_estimates_sum_near_one(self):
+        rng = np.random.default_rng(5)
+        oracle = SummationHistogramEncoding(2.0, 8)
+        values = rng.integers(0, 8, size=60_000)
+        assert oracle.run(values, rng).sum() == pytest.approx(1.0,
+                                                              abs=0.05)
+
+    def test_report_shape_checked(self):
+        from repro.fo.he import SHEReport
+        oracle = SummationHistogramEncoding(1.0, 4)
+        with pytest.raises(ProtocolError):
+            oracle.estimate(SHEReport(sums=np.zeros(5), n=10))
+
+
+class TestTHE:
+    def test_optimal_threshold_in_range(self):
+        for eps in (0.5, 1.0, 2.0):
+            oracle = ThresholdHistogramEncoding(eps, 8)
+            assert 0.5 <= oracle.threshold <= 1.0
+            assert oracle.p > oracle.q
+
+    def test_unbiased(self):
+        rng = np.random.default_rng(6)
+        oracle = ThresholdHistogramEncoding(1.0, 10)
+        values = np.full(30_000, 3)
+        estimates = [oracle.run(values, rng)[3] for _ in range(30)]
+        assert np.mean(estimates) == pytest.approx(1.0, abs=0.03)
+
+    def test_the_beats_she_at_small_epsilon(self):
+        # Wang et al.: thresholding dominates summation for small eps.
+        she = SummationHistogramEncoding(0.5, 8)
+        the = ThresholdHistogramEncoding(0.5, 8)
+        assert the.theoretical_variance(1000) < \
+            she.theoretical_variance(1000)
+
+    def test_threshold_mismatch_rejected(self):
+        a = ThresholdHistogramEncoding(1.0, 8, threshold=0.7)
+        b = ThresholdHistogramEncoding(1.0, 8, threshold=0.9)
+        report = a.perturb(np.zeros(100, dtype=int),
+                           np.random.default_rng(0))
+        with pytest.raises(ProtocolError):
+            b.estimate(report)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ProtocolError):
+            ThresholdHistogramEncoding(1.0, 8, threshold=2.0)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name,cls", [
+        ("sue", SymmetricUnaryEncoding),
+        ("she", SummationHistogramEncoding),
+        ("the", ThresholdHistogramEncoding),
+        ("oue", OptimizedUnaryEncoding),
+    ])
+    def test_make_oracle_knows_extensions(self, name, cls):
+        assert isinstance(make_oracle(name, 1.0, 8), cls)
+
+    def test_oue_never_worse_than_whole_unary_he_family(self):
+        # OUE/OLH are the right defaults: across budgets, none of the
+        # extension protocols has lower variance than OUE.
+        n = 1000
+        for eps in (0.5, 1.0, 2.0):
+            oue = OptimizedUnaryEncoding(eps, 32).theoretical_variance(n)
+            for cls in (SymmetricUnaryEncoding,
+                        SummationHistogramEncoding,
+                        ThresholdHistogramEncoding):
+                assert oue <= cls(eps, 32).theoretical_variance(n) * 1.001

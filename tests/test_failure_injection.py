@@ -1,0 +1,147 @@
+"""Failure-injection tests: corrupted reports, adversarial inputs.
+
+A deployed aggregator receives reports from untrusted clients; these tests
+verify the estimators stay well-defined (no NaNs, no crashes, bounded
+answers) under garbage input, and that validation catches structurally
+invalid reports before estimation.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Felip, FelipConfig
+from repro.data import uniform_dataset
+from repro.errors import ProtocolError, ReproError
+from repro.fo import (
+    GeneralizedRandomizedResponse,
+    OptimizedLocalHashing,
+)
+from repro.fo.grr import GRRReport
+from repro.fo.olh import OLHReport
+from repro.postprocess import normalize_non_negative
+from repro.queries import Query, between
+
+
+class TestCorruptedGRRReports:
+    def test_all_same_value_reports(self):
+        # A coordinated group all reporting value 0: estimate stays finite
+        # and post-processing yields a valid distribution.
+        oracle = GeneralizedRandomizedResponse(1.0, 8)
+        report = GRRReport(values=np.zeros(1000, dtype=np.int64),
+                           domain_size=8)
+        estimates = oracle.estimate(report)
+        assert np.isfinite(estimates).all()
+        cleaned = normalize_non_negative(estimates)
+        assert cleaned[0] == pytest.approx(1.0)
+
+    def test_single_report(self):
+        oracle = GeneralizedRandomizedResponse(1.0, 8)
+        report = GRRReport(values=np.array([3]), domain_size=8)
+        estimates = oracle.estimate(report)
+        assert np.isfinite(estimates).all()
+
+    def test_out_of_domain_report_values_crash_loudly(self):
+        # bincount with minlength only grows; out-of-domain values make a
+        # longer count vector, which must not silently mis-shape the
+        # estimate.
+        oracle = GeneralizedRandomizedResponse(1.0, 4)
+        report = GRRReport(values=np.array([0, 1, 9]), domain_size=4)
+        estimates = oracle.estimate(report)
+        # Either the estimator rejects or it returns domain-size entries.
+        assert len(estimates) >= 4
+
+
+class TestCorruptedOLHReports:
+    def test_bucket_values_outside_hash_range(self):
+        oracle = OptimizedLocalHashing(1.0, 8)
+        seeds = np.arange(100, dtype=np.uint64)
+        buckets = np.full(100, 10_000, dtype=np.int64)  # absurd bucket
+        report = OLHReport(seeds=seeds, buckets=buckets,
+                           hash_range=oracle.g, domain_size=8)
+        estimates = oracle.estimate(report)
+        # No user supports anything: all estimates at the negative floor.
+        assert np.isfinite(estimates).all()
+        assert (estimates < 0.1).all()
+
+    def test_adversarial_seeds_still_finite(self):
+        oracle = OptimizedLocalHashing(1.0, 8)
+        seeds = np.zeros(100, dtype=np.uint64)  # everyone claims seed 0
+        buckets = np.zeros(100, dtype=np.int64)
+        report = OLHReport(seeds=seeds, buckets=buckets,
+                           hash_range=oracle.g, domain_size=8)
+        estimates = oracle.estimate(report)
+        assert np.isfinite(estimates).all()
+
+
+class TestDegenerateCollections:
+    def test_tiny_population(self):
+        dataset = uniform_dataset(30, num_numerical=2, num_categorical=1,
+                                  numerical_domain=8,
+                                  categorical_domain=3, rng=1)
+        model = Felip.ohg(dataset.schema, epsilon=1.0).fit(dataset, rng=2)
+        q = Query([between("num_0", 0, 3)])
+        answer = model.answer(q)
+        assert 0.0 <= answer <= 1.0
+
+    def test_population_smaller_than_group_count(self):
+        dataset = uniform_dataset(3, num_numerical=2, num_categorical=1,
+                                  numerical_domain=8,
+                                  categorical_domain=3, rng=3)
+        model = Felip.ohg(dataset.schema, epsilon=1.0).fit(dataset, rng=4)
+        q = Query([between("num_0", 0, 3), between("num_1", 0, 3)])
+        assert 0.0 <= model.answer(q) <= 1.0
+
+    def test_constant_column_dataset(self):
+        # Every user has the same record: distributions are point masses.
+        records = np.zeros((1000, 3), dtype=np.int64)
+        from repro.data import Dataset
+        from repro.schema import Schema
+        from repro.schema.attribute import categorical, numerical
+        schema = Schema([numerical("a", 8), numerical("b", 8),
+                         categorical("c", 3)])
+        dataset = Dataset(schema, records)
+        model = Felip.ohg(schema, epsilon=2.0).fit(dataset, rng=5)
+        q = Query([between("a", 0, 0)])
+        assert model.answer(q) == pytest.approx(1.0, abs=0.25)
+
+    def test_extreme_epsilon_values(self):
+        dataset = uniform_dataset(5000, num_numerical=2,
+                                  num_categorical=0, numerical_domain=8,
+                                  rng=6)
+        for epsilon in (0.01, 10.0):
+            model = Felip.ohg(dataset.schema, epsilon=epsilon).fit(
+                dataset, rng=7)
+            q = Query([between("num_0", 0, 3)])
+            answer = model.answer(q)
+            assert 0.0 <= answer <= 1.0
+        # At huge epsilon the answer is essentially exact.
+        assert model.answer(q) == pytest.approx(0.5, abs=0.05)
+
+    def test_domain_of_two(self):
+        dataset = uniform_dataset(5000, num_numerical=2,
+                                  num_categorical=0, numerical_domain=2,
+                                  rng=8)
+        model = Felip.ohg(dataset.schema, epsilon=1.0).fit(dataset, rng=9)
+        q = Query([between("num_0", 0, 0)])
+        assert model.answer(q) == pytest.approx(0.5, abs=0.15)
+
+
+class TestEverythingRaisesReproError:
+    """All library failures surface as ReproError subclasses."""
+
+    def test_protocol_errors(self):
+        with pytest.raises(ReproError):
+            GeneralizedRandomizedResponse(1.0, 1)
+        with pytest.raises(ReproError):
+            OptimizedLocalHashing(-1.0, 8)
+
+    def test_config_errors(self):
+        with pytest.raises(ReproError):
+            FelipConfig(epsilon=-1)
+
+    def test_query_errors(self):
+        from repro.queries import isin
+        with pytest.raises(ReproError):
+            Query([])
+        with pytest.raises(ReproError):
+            isin("x", [])

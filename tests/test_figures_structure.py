@@ -1,0 +1,102 @@
+"""Structural tests for every figure experiment at tiny scale.
+
+These verify each figure function's table shape, x-axis coverage, and
+determinism — the contract the benchmarks and EXPERIMENTS.md rely on —
+without asserting on noisy MAE values.
+"""
+
+import pytest
+
+from repro.experiments.figures import (
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+)
+from repro.experiments.scenario import FigureScale
+
+TINY = FigureScale(users=3_000, queries=2, numerical_domain=16,
+                   categorical_domain=3, seed=77)
+STRATS = ("oug", "ohg")
+
+
+class TestFigure2:
+    def test_rows_cover_selectivity_grid(self):
+        table = figure2(TINY, datasets=("uniform",),
+                        selectivities=(0.2, 0.8), lambdas=(2,),
+                        strategies=STRATS)
+        assert table.columns == ["dataset", "lambda", "selectivity",
+                                 "oug", "ohg"]
+        sel = [row[2] for row in table.rows]
+        assert sel == ["0.200000", "0.800000"]
+
+    def test_all_cells_are_non_negative(self):
+        table = figure2(TINY, datasets=("uniform",),
+                        selectivities=(0.5,), lambdas=(2,),
+                        strategies=STRATS)
+        for row in table.rows:
+            assert float(row[3]) >= 0 and float(row[4]) >= 0
+
+
+class TestFigure3:
+    def test_rows_cover_domain_pairs(self):
+        table = figure3(TINY, datasets=("uniform",),
+                        domains=((8, 2), (16, 3)), lambdas=(2,),
+                        strategies=STRATS)
+        assert [row[2] for row in table.rows] == ["8", "16"]
+        assert [row[3] for row in table.rows] == ["2", "3"]
+
+
+class TestFigure4:
+    def test_lambda_sweep(self):
+        table = figure4(TINY, datasets=("uniform",), lambdas=(2, 3),
+                        strategies=STRATS)
+        assert [row[1] for row in table.rows] == ["2", "3"]
+
+    def test_builds_enough_attributes_for_lambda(self):
+        # lambda=5 at TINY scale needs a dataset with >= 10 attributes.
+        table = figure4(TINY, datasets=("uniform",), lambdas=(5,),
+                        strategies=("oug",))
+        assert len(table.rows) == 1
+
+
+class TestFigure5:
+    def test_skips_lambda_above_attribute_count(self):
+        table = figure5(TINY, datasets=("uniform",),
+                        attribute_counts=(3,), lambdas=(2, 4),
+                        strategies=("oug",))
+        # Only lambda=2 fits into 3 attributes.
+        assert [row[1] for row in table.rows] == ["2"]
+
+    def test_attribute_sweep(self):
+        table = figure5(TINY, datasets=("uniform",),
+                        attribute_counts=(4, 6), lambdas=(2,),
+                        strategies=STRATS)
+        assert [row[2] for row in table.rows] == ["4", "6"]
+
+
+class TestFigure6:
+    def test_default_user_counts_center_on_scale(self):
+        table = figure6(TINY, datasets=("uniform",), lambdas=(2,),
+                        strategies=("oug",))
+        users = [int(row[2]) for row in table.rows]
+        assert users == [TINY.users // 4, TINY.users // 2, TINY.users,
+                         TINY.users * 2, TINY.users * 4]
+
+    def test_explicit_user_counts(self):
+        table = figure6(TINY, datasets=("uniform",),
+                        user_counts=(1_000, 2_000), lambdas=(2,),
+                        strategies=("oug",))
+        assert [row[2] for row in table.rows] == ["1000", "2000"]
+
+
+class TestDeterminismAcrossFigures:
+    @pytest.mark.parametrize("fn,kwargs", [
+        (figure2, dict(selectivities=(0.5,), lambdas=(2,))),
+        (figure5, dict(attribute_counts=(4,), lambdas=(2,))),
+    ])
+    def test_repeat_call_identical(self, fn, kwargs):
+        a = fn(TINY, datasets=("uniform",), strategies=("oug",), **kwargs)
+        b = fn(TINY, datasets=("uniform",), strategies=("oug",), **kwargs)
+        assert a.rows == b.rows

@@ -1,0 +1,150 @@
+"""Tests for repro.grids.grid (grid specs and estimates)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GridError
+from repro.grids import Binning, Grid1D, Grid2D, GridEstimate
+from repro.grids.grid import predicate_cell_weights
+from repro.queries import between, isin
+from repro.schema.attribute import categorical, numerical
+
+
+@pytest.fixture
+def num_attr():
+    return numerical("x", 20)
+
+
+@pytest.fixture
+def cat_attr():
+    return categorical("c", 4)
+
+
+class TestPredicateCellWeights:
+    def test_range_weights(self, num_attr):
+        binning = Binning(20, 4)  # widths 5 each
+        weights = predicate_cell_weights(binning, between("x", 5, 14),
+                                         num_attr)
+        np.testing.assert_allclose(weights, [0, 1, 1, 0])
+
+    def test_partial_overlap(self, num_attr):
+        binning = Binning(20, 4)
+        weights = predicate_cell_weights(binning, between("x", 3, 6),
+                                         num_attr)
+        np.testing.assert_allclose(weights, [2 / 5, 2 / 5, 0, 0])
+
+    def test_set_predicate_needs_trivial_binning(self, cat_attr):
+        weights = predicate_cell_weights(Binning(4, 4), isin("c", [1, 3]),
+                                         cat_attr)
+        np.testing.assert_allclose(weights, [0, 1, 0, 1])
+
+    def test_set_predicate_on_coarse_binning_rejected(self):
+        attr = numerical("x", 8)
+        with pytest.raises(GridError):
+            predicate_cell_weights(Binning(8, 4), isin("x", [1]), attr)
+
+
+class TestGrid1D:
+    def test_encode(self, num_attr):
+        grid = Grid1D(0, num_attr, Binning(20, 4))
+        records = np.array([[0], [7], [19]])
+        np.testing.assert_array_equal(grid.encode(records), [0, 1, 3])
+
+    def test_encode_uses_attr_index(self, num_attr, cat_attr):
+        grid = Grid1D(1, num_attr, Binning(20, 4))
+        records = np.array([[0, 7], [0, 19]])
+        np.testing.assert_array_equal(grid.encode(records), [1, 3])
+
+    def test_domain_mismatch_rejected(self, num_attr):
+        with pytest.raises(GridError):
+            Grid1D(0, num_attr, Binning(19, 4))
+
+    def test_key(self, num_attr):
+        assert Grid1D(2, num_attr, Binning(20, 4)).key == (2,)
+
+
+class TestGrid2D:
+    def test_encode_row_major(self, num_attr, cat_attr):
+        grid = Grid2D(0, 1, num_attr, cat_attr,
+                      Binning(20, 2), Binning(4, 4))
+        records = np.array([[0, 0], [0, 3], [19, 0], [19, 3]])
+        np.testing.assert_array_equal(grid.encode(records), [0, 3, 4, 7])
+
+    def test_num_cells_and_shape(self, num_attr, cat_attr):
+        grid = Grid2D(0, 1, num_attr, cat_attr,
+                      Binning(20, 5), Binning(4, 4))
+        assert grid.shape == (5, 4)
+        assert grid.num_cells == 20
+
+    def test_same_attribute_twice_rejected(self, num_attr):
+        with pytest.raises(GridError):
+            Grid2D(0, 0, num_attr, num_attr, Binning(20, 2),
+                   Binning(20, 2))
+
+    def test_domain_mismatch_rejected(self, num_attr, cat_attr):
+        with pytest.raises(GridError):
+            Grid2D(0, 1, num_attr, cat_attr, Binning(20, 2),
+                   Binning(5, 5))
+
+
+class TestGridEstimate:
+    def _grid2d(self, num_attr, cat_attr):
+        return Grid2D(0, 1, num_attr, cat_attr,
+                      Binning(20, 2), Binning(4, 4))
+
+    def test_frequency_length_checked(self, num_attr):
+        grid = Grid1D(0, num_attr, Binning(20, 4))
+        with pytest.raises(GridError):
+            GridEstimate(grid=grid, frequencies=np.ones(5))
+
+    def test_answer_1d(self, num_attr):
+        grid = Grid1D(0, num_attr, Binning(20, 4))
+        est = GridEstimate(grid=grid,
+                           frequencies=np.array([0.1, 0.2, 0.3, 0.4]))
+        # Exact cell-aligned range.
+        assert est.answer_1d(between("x", 5, 9)) == pytest.approx(0.2)
+        # Partial cell: uniformity splits cell 0's mass.
+        assert est.answer_1d(between("x", 0, 2)) == \
+            pytest.approx(0.1 * 3 / 5)
+
+    def test_answer_2d_full_and_marginal(self, num_attr, cat_attr):
+        grid = self._grid2d(num_attr, cat_attr)
+        freqs = np.arange(8, dtype=float)
+        freqs /= freqs.sum()
+        est = GridEstimate(grid=grid, frequencies=freqs)
+        # Unconstrained on both axes = total mass.
+        assert est.answer_2d(None, None) == pytest.approx(1.0)
+        # y-only constraint equals the matrix column sum.
+        col1 = est.matrix()[:, 1].sum()
+        assert est.answer_2d(None, isin("c", [1])) == pytest.approx(col1)
+
+    def test_answer_2d_rectangle(self, num_attr, cat_attr):
+        grid = self._grid2d(num_attr, cat_attr)
+        freqs = np.full(8, 1 / 8)
+        est = GridEstimate(grid=grid, frequencies=freqs)
+        value = est.answer_2d(between("x", 0, 9), isin("c", [0, 1]))
+        assert value == pytest.approx(2 / 8)
+
+    def test_marginal_along(self, num_attr, cat_attr):
+        grid = self._grid2d(num_attr, cat_attr)
+        freqs = np.arange(8, dtype=float)
+        est = GridEstimate(grid=grid, frequencies=freqs)
+        np.testing.assert_allclose(est.marginal_along(0),
+                                   est.matrix().sum(axis=1))
+        np.testing.assert_allclose(est.marginal_along(1),
+                                   est.matrix().sum(axis=0))
+        with pytest.raises(GridError):
+            est.marginal_along(2)
+
+    def test_1d_methods_rejected_on_2d_and_vice_versa(self, num_attr,
+                                                      cat_attr):
+        grid2 = self._grid2d(num_attr, cat_attr)
+        est2 = GridEstimate(grid=grid2, frequencies=np.full(8, 1 / 8))
+        with pytest.raises(GridError):
+            est2.answer_1d(between("x", 0, 1))
+        grid1 = Grid1D(0, num_attr, Binning(20, 4))
+        est1 = GridEstimate(grid=grid1, frequencies=np.full(4, 0.25))
+        with pytest.raises(GridError):
+            est1.answer_2d(None, None)
+        with pytest.raises(GridError):
+            est1.matrix()

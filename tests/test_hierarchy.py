@@ -1,0 +1,124 @@
+"""Tests for the HIO interval hierarchies."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import Hierarchy
+from repro.errors import GridError
+
+
+class TestNumericalHierarchy:
+    def test_level_structure(self):
+        h = Hierarchy(16, branching=4)
+        assert h.num_levels == 3  # 16 -> 4 -> 1 widths
+        assert h.num_intervals(0) == 1
+        assert h.num_intervals(1) == 4
+        assert h.num_intervals(2) == 16
+
+    def test_non_power_domain(self):
+        h = Hierarchy(100, branching=4)
+        # Depth is ceil(log_4 100) + 1 = 5 levels (root .. singletons).
+        assert h.num_levels == math.ceil(math.log(100, 4)) + 1
+        assert h.num_intervals(h.num_levels - 1) == 100
+
+    def test_every_level_partitions_domain(self):
+        h = Hierarchy(37, branching=3)
+        for level in range(h.num_levels):
+            edges = h.level_edges[level]
+            assert edges[0] == 0 and edges[-1] == 37
+            assert (np.diff(edges) >= 1).all()
+
+    def test_children_nest_in_parent(self):
+        h = Hierarchy(50, branching=4)
+        for level in range(h.num_levels - 1):
+            for idx in range(h.num_intervals(level)):
+                lo, hi = h.interval_bounds(level, idx)
+                c_lo, c_hi = h.child_ranges[level][idx]
+                child_lo = h.interval_bounds(level + 1, c_lo)[0]
+                child_hi = h.interval_bounds(level + 1, c_hi - 1)[1]
+                assert (child_lo, child_hi) == (lo, hi)
+
+    def test_interval_of_vectorized(self):
+        h = Hierarchy(16, branching=4)
+        codes = np.array([0, 3, 4, 15])
+        np.testing.assert_array_equal(h.interval_of(1, codes),
+                                      [0, 0, 1, 3])
+
+    def test_interval_of_rejects_out_of_domain(self):
+        h = Hierarchy(16, branching=4)
+        with pytest.raises(GridError):
+            h.interval_of(1, np.array([16]))
+
+    def test_singleton_domain(self):
+        h = Hierarchy(1, branching=4)
+        assert h.num_levels == 1
+        assert h.interval_bounds(0, 0) == (0, 0)
+
+
+class TestCategoricalHierarchy:
+    def test_two_levels_only(self):
+        h = Hierarchy(8, branching=4, categorical=True)
+        assert h.num_levels == 2
+        assert h.num_intervals(0) == 1
+        assert h.num_intervals(1) == 8
+
+    def test_domain_one_has_root_only(self):
+        h = Hierarchy(1, branching=4, categorical=True)
+        assert h.num_levels == 1
+
+
+class TestCover:
+    def test_full_domain_is_root(self):
+        h = Hierarchy(64, branching=4)
+        assert h.cover(0, 63) == [(0, 0)]
+
+    def test_cover_is_exact_partition_of_range(self):
+        h = Hierarchy(100, branching=4)
+        for lo, hi in [(0, 49), (13, 87), (5, 5), (99, 99), (1, 98)]:
+            cover = h.cover(lo, hi)
+            covered = []
+            for level, idx in cover:
+                a, b = h.interval_bounds(level, idx)
+                covered.extend(range(a, b + 1))
+            assert sorted(covered) == list(range(lo, hi + 1))
+
+    def test_cover_is_minimal_against_leaves(self):
+        h = Hierarchy(64, branching=4)
+        # Aligned range [16, 31] is exactly one level-1 interval.
+        assert h.cover(16, 31) == [(1, 1)]
+
+    def test_cover_size_is_logarithmic(self):
+        h = Hierarchy(1024, branching=4)
+        cover = h.cover(1, 1022)
+        # At most 2 (b-1) per refinement level.
+        assert len(cover) <= 2 * 3 * (h.num_levels - 1)
+
+    def test_invalid_ranges(self):
+        h = Hierarchy(16, branching=4)
+        with pytest.raises(GridError):
+            h.cover(5, 4)
+        with pytest.raises(GridError):
+            h.cover(0, 16)
+
+
+class TestApproximateCover:
+    def test_weights_are_overlap_fractions(self):
+        h = Hierarchy(16, branching=4)
+        entries = h.approximate_cover(2, 9, level=1)
+        # Level 1 intervals are [0-3][4-7][8-11][12-15].
+        assert [(e[0], e[1]) for e in entries] == [(1, 0), (1, 1), (1, 2)]
+        assert entries[0][2] == pytest.approx(0.5)
+        assert entries[1][2] == pytest.approx(1.0)
+        assert entries[2][2] == pytest.approx(0.5)
+
+    def test_weighted_length_matches_range(self):
+        h = Hierarchy(100, branching=4)
+        lo, hi = 7, 66
+        for level in range(h.num_levels):
+            entries = h.approximate_cover(lo, hi, level)
+            length = sum(w * (h.interval_bounds(lv, ix)[1]
+                              - h.interval_bounds(lv, ix)[0] + 1)
+                         for lv, ix, w in entries)
+            assert length == pytest.approx(hi - lo + 1)

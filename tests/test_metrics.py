@@ -1,0 +1,82 @@
+"""Tests for repro.metrics."""
+
+import pytest
+
+from repro.errors import EstimationError
+from repro.metrics import (
+    ResultTable,
+    mae,
+    max_absolute_error,
+    mean_relative_error,
+    rmse,
+)
+
+
+class TestErrorMeasures:
+    def test_mae(self):
+        assert mae([0.1, 0.2], [0.2, 0.4]) == pytest.approx(0.15)
+
+    def test_mae_zero_on_exact(self):
+        assert mae([0.3, 0.7], [0.3, 0.7]) == 0.0
+
+    def test_rmse_weighs_outliers_more(self):
+        flat = [0.1, 0.1]
+        spiky = [0.0, 0.2]
+        truth = [0.0, 0.0]
+        assert mae(flat, truth) == pytest.approx(mae(spiky, truth))
+        assert rmse(spiky, truth) > rmse(flat, truth)
+
+    def test_max_absolute_error(self):
+        assert max_absolute_error([0.1, 0.5], [0.2, 0.1]) == \
+            pytest.approx(0.4)
+
+    def test_mean_relative_error_floor(self):
+        # True answer 0 would divide by zero without the floor.
+        value = mean_relative_error([0.01], [0.0], floor=1e-2)
+        assert value == pytest.approx(1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(EstimationError):
+            mae([0.1], [0.1, 0.2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(EstimationError):
+            mae([], [])
+
+
+class TestResultTable:
+    def test_positional_rows(self):
+        t = ResultTable(["a", "b"])
+        t.add_row(1, 0.5)
+        assert t.to_dicts() == [{"a": "1", "b": "0.500000"}]
+
+    def test_named_rows(self):
+        t = ResultTable(["a", "b"])
+        t.add_row(b=2.0, a="x")
+        assert t.to_dicts() == [{"a": "x", "b": "2.000000"}]
+
+    def test_missing_named_column(self):
+        t = ResultTable(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(a=1)
+
+    def test_wrong_arity(self):
+        t = ResultTable(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_mixing_positional_and_named(self):
+        t = ResultTable(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1, b=2)
+
+    def test_render_contains_title_and_alignment(self):
+        t = ResultTable(["name", "mae"], title="demo")
+        t.add_row("oug", 0.123456789)
+        text = t.render()
+        assert text.startswith("demo")
+        assert "0.123457" in text
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            ResultTable([])

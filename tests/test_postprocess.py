@@ -1,0 +1,194 @@
+"""Tests for the post-processing stage (Algorithms 1 and 2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.grids import Binning, Grid1D, Grid2D, GridEstimate
+from repro.postprocess import (
+    enforce_consistency,
+    normalize_non_negative,
+    postprocess_grids,
+)
+from repro.postprocess.consistency import overlap_matrix
+from repro.schema.attribute import categorical, numerical
+
+
+class TestNormalizeNonNegative:
+    def test_already_valid_vector_rescaled_only(self):
+        f = np.array([0.2, 0.3, 0.5])
+        out = normalize_non_negative(f)
+        np.testing.assert_allclose(out, f)
+
+    def test_negatives_removed_and_sum_one(self):
+        f = np.array([0.6, -0.2, 0.7, -0.1])
+        out = normalize_non_negative(f)
+        assert (out >= 0).all()
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_relative_order_of_positives_preserved(self):
+        f = np.array([0.9, -0.5, 0.4, 0.2])
+        out = normalize_non_negative(f)
+        assert out[0] > out[2] > out[3]
+        assert out[1] == 0.0
+
+    def test_all_negative_becomes_uniform(self):
+        out = normalize_non_negative(np.array([-0.5, -0.1, -0.2]))
+        np.testing.assert_allclose(out, [1 / 3] * 3)
+
+    def test_custom_target_mass(self):
+        out = normalize_non_negative(np.array([1.0, -0.5, 2.0]),
+                                     target=0.5)
+        assert out.sum() == pytest.approx(0.5)
+
+    def test_zero_target(self):
+        out = normalize_non_negative(np.array([0.3, -0.1]), target=0.0)
+        assert out.sum() == pytest.approx(0.0)
+
+    def test_input_not_mutated(self):
+        f = np.array([0.5, -0.5])
+        normalize_non_negative(f)
+        np.testing.assert_array_equal(f, [0.5, -0.5])
+
+    def test_iterative_clipping_converges(self):
+        # Repeated shift can re-expose negatives; the loop must still
+        # terminate with a valid simplex vector.
+        f = np.array([1.5, 0.01, 0.005, -0.9, -0.4])
+        out = normalize_non_negative(f)
+        assert (out >= 0).all()
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(EstimationError):
+            normalize_non_negative(np.array([]))
+        with pytest.raises(EstimationError):
+            normalize_non_negative(np.array([[0.1]]))
+        with pytest.raises(EstimationError):
+            normalize_non_negative(np.array([0.1]), target=-1.0)
+
+
+class TestOverlapMatrix:
+    def test_aligned_binnings_are_unit_blocks(self):
+        partition = Binning(12, 3)
+        fine = Binning(12, 6)
+        O = overlap_matrix(partition, fine)
+        assert O.shape == (3, 6)
+        np.testing.assert_allclose(O.sum(axis=0), np.ones(6))
+        # Fine cells nest in coarse bins: overlaps are exactly 0/1.
+        assert set(np.unique(O)) <= {0.0, 1.0}
+
+    def test_straddling_cells_split_fractionally(self):
+        partition = Binning(10, 2)   # [0..4], [5..9]
+        binning = Binning(10, 3)     # [0..3], [4..6], [7..9]
+        O = overlap_matrix(partition, binning)
+        np.testing.assert_allclose(O[:, 1], [1 / 3, 2 / 3])
+        np.testing.assert_allclose(O.sum(axis=0), np.ones(3))
+
+    def test_domain_mismatch_rejected(self):
+        with pytest.raises(EstimationError):
+            overlap_matrix(Binning(10, 2), Binning(12, 3))
+
+
+def _one_d(attr_index, attr, cells, freqs):
+    grid = Grid1D(attr_index, attr, Binning(attr.domain_size, cells))
+    return GridEstimate(grid=grid, frequencies=np.asarray(freqs, float))
+
+
+def _two_d(ij, attrs, cells, freqs):
+    i, j = ij
+    grid = Grid2D(i, j, attrs[0], attrs[1],
+                  Binning(attrs[0].domain_size, cells[0]),
+                  Binning(attrs[1].domain_size, cells[1]))
+    return GridEstimate(grid=grid, frequencies=np.asarray(freqs, float))
+
+
+class TestConsistency:
+    def test_agreeing_grids_unchanged(self):
+        x = numerical("x", 8)
+        c = categorical("c", 2)
+        # Both grids already agree on x's marginal (uniform).
+        e1 = _one_d(0, x, 4, [0.25] * 4)
+        e2 = _two_d((0, 1), (x, c), (4, 2), [0.125] * 8)
+        before1, before2 = e1.frequencies.copy(), e2.frequencies.copy()
+        enforce_consistency([e1, e2], {(0,): 1.0, (0, 1): 1.0}, 2)
+        np.testing.assert_allclose(e1.frequencies, before1, atol=1e-12)
+        np.testing.assert_allclose(e2.frequencies, before2, atol=1e-12)
+
+    def test_disagreement_moves_toward_lower_variance_grid(self):
+        x = numerical("x", 8)
+        c = categorical("c", 2)
+        # 1-D grid says mass is all in the first half; the 2-D grid says
+        # uniform. Give the 1-D grid much lower variance: consensus should
+        # sit near the 1-D estimate.
+        e1 = _one_d(0, x, 4, [0.5, 0.5, 0.0, 0.0])
+        e2 = _two_d((0, 1), (x, c), (4, 2), [0.125] * 8)
+        enforce_consistency([e1, e2], {(0,): 1e-6, (0, 1): 1.0}, 2)
+        first_half_2d = e2.matrix()[:2].sum()
+        assert first_half_2d > 0.9
+
+    def test_grid_masses_agree_after_step(self):
+        x = numerical("x", 12)
+        c = categorical("c", 3)
+        rng = np.random.default_rng(0)
+        e1 = _one_d(0, x, 4, rng.dirichlet(np.ones(4)))
+        e2 = _two_d((0, 1), (x, c), (6, 3),
+                    rng.dirichlet(np.ones(18)))
+        enforce_consistency([e1, e2], {(0,): 1.0, (0, 1): 1.0}, 2)
+        # After the step both grids should report the same mass per
+        # partition bin (the 1-D grid's bins).
+        part = e1.grid.binning
+        m1 = e1.frequencies
+        O = overlap_matrix(part, e2.grid.binning_x)
+        m2 = O @ e2.matrix().sum(axis=1)
+        np.testing.assert_allclose(m1, m2, atol=1e-9)
+
+    def test_total_mass_preserved(self):
+        x = numerical("x", 12)
+        y = numerical("y", 12)
+        rng = np.random.default_rng(1)
+        e1 = _one_d(0, x, 3, rng.dirichlet(np.ones(3)))
+        e2 = _one_d(1, y, 4, rng.dirichlet(np.ones(4)))
+        e3 = _two_d((0, 1), (x, y), (4, 4), rng.dirichlet(np.ones(16)))
+        total_before = sum(e.frequencies.sum() for e in (e1, e2, e3))
+        enforce_consistency([e1, e2, e3],
+                            {(0,): 1.0, (1,): 1.0, (0, 1): 1.0}, 2)
+        total_after = sum(e.frequencies.sum() for e in (e1, e2, e3))
+        assert total_after == pytest.approx(total_before)
+
+    def test_single_grid_attribute_untouched(self):
+        x = numerical("x", 8)
+        e1 = _one_d(0, x, 4, [0.1, 0.2, 0.3, 0.4])
+        before = e1.frequencies.copy()
+        enforce_consistency([e1], {(0,): 1.0}, 1)
+        np.testing.assert_array_equal(e1.frequencies, before)
+
+
+class TestPostprocessPipeline:
+    def test_output_is_simplex_per_grid(self):
+        x = numerical("x", 10)
+        y = numerical("y", 10)
+        rng = np.random.default_rng(2)
+        estimates = [
+            _one_d(0, x, 5, rng.normal(0.2, 0.3, 5)),
+            _one_d(1, y, 5, rng.normal(0.2, 0.3, 5)),
+            _two_d((0, 1), (x, y), (5, 5), rng.normal(0.04, 0.1, 25)),
+        ]
+        postprocess_grids(estimates, {(0,): 1.0, (1,): 1.0, (0, 1): 1.0},
+                          2, rounds=3)
+        for est in estimates:
+            assert (est.frequencies >= 0).all()
+            assert est.frequencies.sum() == pytest.approx(1.0)
+
+    def test_rounds_zero_only_normalizes(self):
+        x = numerical("x", 10)
+        y = numerical("y", 10)
+        e1 = _one_d(0, x, 2, [0.9, -0.4])
+        e2 = _one_d(1, y, 2, [2.0, 0.0])
+        postprocess_grids([e1, e2], {(0,): 1.0, (1,): 1.0}, 2, rounds=0)
+        assert (e1.frequencies >= 0).all()
+        assert e1.frequencies.sum() == pytest.approx(1.0)
+        assert e2.frequencies.sum() == pytest.approx(1.0)
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(EstimationError):
+            postprocess_grids([], {}, 1, rounds=-1)

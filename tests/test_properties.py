@@ -1,0 +1,155 @@
+"""Property-based tests (hypothesis) on the core data structures.
+
+These pin down the invariants the estimation pipeline silently relies on:
+binning partitions exactly, norm-sub always lands on the simplex, the
+overlap matrix conserves mass, unbiased estimators invert their own
+perturbation probabilities, and covers partition ranges exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import Hierarchy
+from repro.fo.grr import GeneralizedRandomizedResponse
+from repro.fo.hashing import chain_hash, splitmix64
+from repro.grids import Binning
+from repro.postprocess import normalize_non_negative
+from repro.postprocess.consistency import overlap_matrix
+
+# Strategy: (domain_size, num_cells) with 1 <= cells <= domain.
+domain_and_cells = st.integers(1, 500).flatmap(
+    lambda d: st.tuples(st.just(d), st.integers(1, d)))
+
+
+class TestBinningProperties:
+    @given(domain_and_cells)
+    def test_cells_partition_domain_exactly(self, dc):
+        d, l = dc
+        b = Binning(d, l)
+        assert b.widths.sum() == d
+        assert b.widths.min() >= 1
+        assert b.widths.max() - b.widths.min() <= 1
+
+    @given(domain_and_cells)
+    def test_cell_of_agrees_with_bounds(self, dc):
+        d, l = dc
+        b = Binning(d, l)
+        codes = np.arange(d)
+        cells = b.cell_of(codes)
+        assert cells.min() == 0 and cells.max() == l - 1
+        # Monotone non-decreasing, and each code within its cell bounds.
+        assert (np.diff(cells) >= 0).all()
+        for cell in range(l):
+            lo, hi = b.bounds(cell)
+            assert (cells[lo:hi + 1] == cell).all()
+
+    @given(domain_and_cells, st.data())
+    def test_range_weights_conserve_code_count(self, dc, data):
+        d, l = dc
+        b = Binning(d, l)
+        lo = data.draw(st.integers(0, d - 1))
+        hi = data.draw(st.integers(lo, d - 1))
+        weights = b.range_weights(lo, hi)
+        assert float(weights @ b.widths) == pytest.approx(hi - lo + 1)
+        assert (weights >= 0).all() and (weights <= 1 + 1e-12).all()
+
+
+class TestNormSubProperties:
+    @given(st.lists(st.floats(-2, 2, allow_nan=False), min_size=1,
+                    max_size=60))
+    def test_output_on_simplex(self, values):
+        out = normalize_non_negative(np.array(values))
+        assert (out >= 0).all()
+        assert out.sum() == pytest.approx(1.0, abs=1e-9)
+
+    @given(st.lists(st.floats(0.01, 2.0, allow_nan=False), min_size=2,
+                    max_size=40))
+    def test_simplex_input_is_fixed_point(self, values):
+        arr = np.array(values)
+        arr = arr / arr.sum()
+        out = normalize_non_negative(arr)
+        np.testing.assert_allclose(out, arr, atol=1e-9)
+
+    @given(st.lists(st.floats(-1.0, 2.0, allow_nan=False), min_size=2,
+                    max_size=40))
+    def test_order_of_surviving_entries_preserved(self, values):
+        # Algorithm 1 shifts positives by a common constant, so relative
+        # order among entries that stay positive cannot flip.
+        arr = np.array(values)
+        out = normalize_non_negative(arr)
+        if (arr <= 0).all():
+            return  # uniform fallback: no order to preserve
+        survivors = np.where(out > 0)[0]
+        for i in survivors:
+            for j in survivors:
+                if arr[i] < arr[j]:
+                    assert out[i] <= out[j] + 1e-12
+
+
+class TestOverlapMatrixProperties:
+    @given(st.integers(2, 200), st.data())
+    def test_columns_always_sum_to_one(self, d, data):
+        p = data.draw(st.integers(1, d))
+        c = data.draw(st.integers(1, d))
+        O = overlap_matrix(Binning(d, p), Binning(d, c))
+        np.testing.assert_allclose(O.sum(axis=0), np.ones(c), atol=1e-12)
+        # Row sums weight cells by coverage; total equals bin widths in
+        # cell-width units: sum of all entries == number of cells scaled.
+        assert (O >= 0).all()
+
+
+class TestHashProperties:
+    @given(st.lists(st.integers(0, 2**64 - 1), min_size=1, max_size=50),
+           st.integers(2, 97))
+    def test_buckets_always_in_range(self, seeds, g):
+        arr = np.array(seeds, dtype=np.uint64)
+        out = chain_hash(arr, [7, 11], g)
+        assert (out < g).all()
+
+    @given(st.integers(0, 2**64 - 1))
+    def test_splitmix_is_a_bijection_witness(self, x):
+        # Distinct consecutive inputs never collide (weak injectivity
+        # witness; splitmix64 is a bijection on uint64).
+        a = splitmix64(np.array([x], dtype=np.uint64))[0]
+        b = splitmix64(np.array([(x + 1) % 2**64], dtype=np.uint64))[0]
+        assert a != b
+
+
+class TestGRRProperties:
+    @given(st.integers(2, 40), st.floats(0.2, 4.0))
+    @settings(max_examples=20, deadline=None)
+    def test_estimate_inverts_perturbation_in_expectation(self, d, eps):
+        # With the identity report vector (no sampling), applying the
+        # estimator to exact expected counts recovers the frequencies.
+        oracle = GeneralizedRandomizedResponse(eps, d)
+        freqs = np.zeros(d)
+        freqs[0] = 1.0
+        expected_counts = oracle.p * freqs + oracle.q * (1 - freqs)
+        estimate = (expected_counts - oracle.q) / (oracle.p - oracle.q)
+        np.testing.assert_allclose(estimate, freqs, atol=1e-10)
+
+
+class TestHierarchyProperties:
+    @given(st.integers(2, 300), st.integers(2, 6), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_cover_partitions_any_range(self, d, b, data):
+        lo = data.draw(st.integers(0, d - 1))
+        hi = data.draw(st.integers(lo, d - 1))
+        h = Hierarchy(d, branching=b)
+        covered = []
+        for level, idx in h.cover(lo, hi):
+            a, z = h.interval_bounds(level, idx)
+            covered.extend(range(a, z + 1))
+        assert sorted(covered) == list(range(lo, hi + 1))
+        assert len(covered) == len(set(covered))  # no overlaps
+
+    @given(st.integers(2, 300), st.integers(2, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_levels_partition_domain(self, d, b):
+        h = Hierarchy(d, branching=b)
+        for level in range(h.num_levels):
+            edges = h.level_edges[level]
+            assert edges[0] == 0 and edges[-1] == d
+            assert (np.diff(edges) >= 1).all()

@@ -1,0 +1,83 @@
+"""Tests for the public API surface and the example scripts' integrity."""
+
+import ast
+import importlib
+import pathlib
+
+import pytest
+
+import repro
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples")
+    .glob("*.py"))
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    @pytest.mark.parametrize("name", repro.__all__)
+    def test_all_exports_resolve(self, name):
+        assert getattr(repro, name) is not None
+
+    def test_felip_importable_from_top_level(self):
+        from repro import Felip, FelipConfig, Schema
+        assert Felip is not None and FelipConfig is not None
+
+    def test_subpackages_import(self):
+        for module in ("repro.fo", "repro.grids", "repro.postprocess",
+                       "repro.estimation", "repro.core", "repro.baselines",
+                       "repro.experiments", "repro.metrics", "repro.data",
+                       "repro.queries", "repro.schema"):
+            importlib.import_module(module)
+
+    def test_error_hierarchy_rooted(self):
+        from repro import errors
+        for name in ("SchemaError", "DataError", "QueryError",
+                     "PrivacyError", "ProtocolError", "GridError",
+                     "EstimationError", "ConfigurationError",
+                     "NotFittedError"):
+            assert issubclass(getattr(errors, name), errors.ReproError)
+
+
+class TestExamples:
+    def test_at_least_four_examples(self):
+        assert len(EXAMPLES) >= 4
+
+    @pytest.mark.parametrize("path", EXAMPLES,
+                             ids=[p.stem for p in EXAMPLES])
+    def test_example_parses_and_has_main(self, path):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path.name} lacks a docstring"
+        functions = {node.name for node in ast.walk(tree)
+                     if isinstance(node, ast.FunctionDef)}
+        assert "main" in functions
+
+    @pytest.mark.parametrize("path", EXAMPLES,
+                             ids=[p.stem for p in EXAMPLES])
+    def test_example_imports_only_public_modules(self, path):
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                root = node.module.split(".")[0]
+                assert root in ("repro", "numpy"), (
+                    f"{path.name} imports {node.module}")
+
+
+class TestDocstrings:
+    def test_every_public_module_has_a_docstring(self):
+        package_root = pathlib.Path(repro.__file__).parent
+        for py in package_root.rglob("*.py"):
+            tree = ast.parse(py.read_text())
+            assert ast.get_docstring(tree), f"{py} lacks a module docstring"
+
+    def test_core_public_classes_documented(self):
+        from repro import Felip
+        from repro.core import Aggregator, StreamingCollector
+        from repro.baselines import HDG, HIO, TDG
+        for cls in (Felip, Aggregator, StreamingCollector, HIO, TDG, HDG):
+            assert cls.__doc__
+            for name, member in vars(cls).items():
+                if callable(member) and not name.startswith("_"):
+                    assert member.__doc__, f"{cls.__name__}.{name}"

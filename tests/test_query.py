@@ -1,0 +1,105 @@
+"""Tests for repro.queries.query."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset
+from repro.errors import QueryError
+from repro.queries import Query, between, isin
+from repro.queries.query import true_answers
+from repro.schema import Schema
+from repro.schema.attribute import categorical, numerical
+
+
+@pytest.fixture
+def schema():
+    return Schema([numerical("x", 10), numerical("y", 10),
+                   categorical("c", 3)])
+
+
+@pytest.fixture
+def dataset(schema):
+    # Four hand-written records so every truth is countable by eye.
+    records = np.array([
+        [0, 0, 0],
+        [5, 5, 1],
+        [9, 9, 2],
+        [5, 0, 1],
+    ])
+    return Dataset(schema, records)
+
+
+class TestConstruction:
+    def test_dimension_and_attributes(self):
+        q = Query([between("x", 0, 4), isin("c", [1])])
+        assert q.dimension == 2
+        assert q.attributes == ["x", "c"]
+        assert q.constrains("x") and not q.constrains("y")
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(QueryError):
+            Query([])
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(QueryError):
+            Query([between("x", 0, 1), between("x", 2, 3)])
+
+    def test_predicate_on_lookup(self):
+        q = Query([between("x", 0, 4)])
+        assert q.predicate_on("x").interval == (0, 4)
+        with pytest.raises(QueryError):
+            q.predicate_on("y")
+
+    def test_pairs(self):
+        q = Query([between("x", 0, 1), between("y", 0, 1),
+                   isin("c", [0])])
+        pairs = q.pairs()
+        assert len(pairs) == 3
+        assert pairs[0][0].attribute == "x"
+
+    def test_str(self):
+        q = Query([between("x", 0, 4), isin("c", [1])])
+        assert " AND " in str(q)
+
+
+class TestEvaluation:
+    def test_single_predicate(self, dataset):
+        q = Query([between("x", 5, 9)])
+        assert q.true_answer(dataset) == pytest.approx(3 / 4)
+
+    def test_conjunction(self, dataset):
+        q = Query([between("x", 5, 9), isin("c", [1])])
+        assert q.true_answer(dataset) == pytest.approx(2 / 4)
+
+    def test_three_way_conjunction(self, dataset):
+        q = Query([between("x", 5, 9), between("y", 5, 9),
+                   isin("c", [1])])
+        assert q.true_answer(dataset) == pytest.approx(1 / 4)
+
+    def test_empty_answer(self, dataset):
+        q = Query([between("x", 1, 4), isin("c", [2])])
+        assert q.true_answer(dataset) == 0.0
+
+    def test_empty_dataset(self, schema):
+        ds = Dataset(schema, np.empty((0, 3), dtype=np.int64))
+        q = Query([between("x", 0, 9)])
+        assert q.true_answer(ds) == 0.0
+
+    def test_validation_against_schema(self, dataset):
+        q = Query([between("z", 0, 1)])
+        with pytest.raises(QueryError):
+            q.true_answer(dataset)
+
+    def test_out_of_domain_predicate_rejected(self, dataset):
+        q = Query([between("x", 0, 10)])
+        with pytest.raises(QueryError):
+            q.true_answer(dataset)
+
+    def test_selectivity_product(self, schema):
+        q = Query([between("x", 0, 4), isin("c", [0])])
+        assert q.selectivity(schema) == pytest.approx(0.5 * (1 / 3))
+
+    def test_true_answers_vector(self, dataset):
+        qs = [Query([between("x", 0, 4)]), Query([isin("c", [1])])]
+        np.testing.assert_allclose(true_answers(qs, dataset),
+                                   [0.25, 0.5])

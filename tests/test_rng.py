@@ -1,0 +1,80 @@
+"""Tests for repro.rng."""
+
+import numpy as np
+import pytest
+
+from repro.rng import (
+    ensure_rng,
+    permuted_group_assignment,
+    random_seed,
+    spawn,
+)
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(7).integers(0, 1000, size=5)
+        b = ensure_rng(7).integers(0, 1000, size=5)
+        assert (a == b).all()
+
+    def test_generator_passes_through(self):
+        gen = np.random.default_rng(1)
+        assert ensure_rng(gen) is gen
+
+
+class TestSpawn:
+    def test_children_are_independent_generators(self):
+        children = spawn(ensure_rng(3), 4)
+        assert len(children) == 4
+        draws = [c.integers(0, 2**31) for c in children]
+        assert len(set(draws)) == 4
+
+    def test_zero_children(self):
+        assert spawn(ensure_rng(3), 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(ensure_rng(3), -1)
+
+    def test_spawn_is_deterministic_from_seed(self):
+        a = [c.integers(0, 2**31) for c in spawn(ensure_rng(9), 3)]
+        b = [c.integers(0, 2**31) for c in spawn(ensure_rng(9), 3)]
+        assert a == b
+
+
+class TestRandomSeed:
+    def test_in_63_bit_range(self):
+        seed = random_seed(5)
+        assert 0 <= seed < 2**63
+
+    def test_deterministic(self):
+        assert random_seed(5) == random_seed(5)
+
+
+class TestPermutedGroupAssignment:
+    def test_exact_group_sizes(self):
+        sizes = np.array([3, 5, 2])
+        labels = permuted_group_assignment(10, sizes, rng=1)
+        assert (np.bincount(labels, minlength=3) == sizes).all()
+
+    def test_rejects_mismatched_total(self):
+        with pytest.raises(ValueError):
+            permuted_group_assignment(9, np.array([3, 5, 2]), rng=1)
+
+    def test_rejects_negative_sizes(self):
+        with pytest.raises(ValueError):
+            permuted_group_assignment(2, np.array([3, -1]), rng=1)
+
+    def test_assignment_is_permuted(self):
+        # With a random permutation, the first group's members should not
+        # simply be the first rows.
+        labels = permuted_group_assignment(1000, np.array([500, 500]),
+                                           rng=2)
+        assert labels[:500].sum() > 0
+
+    def test_empty_population(self):
+        labels = permuted_group_assignment(0, np.array([0, 0]), rng=1)
+        assert len(labels) == 0

@@ -1,0 +1,136 @@
+"""Tests for repro.schema (attributes and schemas)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema import (
+    CategoricalAttribute,
+    NumericalAttribute,
+    Schema,
+)
+from repro.schema.attribute import categorical, numerical
+
+
+class TestNumericalAttribute:
+    def test_basic_construction(self):
+        attr = numerical("age", 100)
+        assert attr.is_numerical and not attr.is_categorical
+        assert attr.domain_size == 100
+
+    def test_real_range_midpoints(self):
+        attr = numerical("salary", 10, lo=0.0, hi=100.0)
+        assert attr.code_to_value(0) == pytest.approx(5.0)
+        assert attr.code_to_value(9) == pytest.approx(95.0)
+
+    def test_code_to_value_without_range_is_identity_mid(self):
+        attr = numerical("x", 5)
+        assert attr.code_to_value(3) == 3.0
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            NumericalAttribute(name="", domain_size=5)
+
+    def test_rejects_nonpositive_domain(self):
+        with pytest.raises(SchemaError):
+            numerical("x", 0)
+
+    def test_rejects_half_specified_range(self):
+        with pytest.raises(SchemaError):
+            NumericalAttribute(name="x", domain_size=5, lo=0.0)
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(SchemaError):
+            numerical("x", 5, lo=10.0, hi=1.0)
+
+    def test_validate_code_bounds(self):
+        attr = numerical("x", 5)
+        attr.validate_code(0)
+        attr.validate_code(4)
+        with pytest.raises(SchemaError):
+            attr.validate_code(5)
+        with pytest.raises(SchemaError):
+            attr.validate_code(-1)
+
+
+class TestCategoricalAttribute:
+    def test_labels_round_trip(self):
+        attr = categorical("edu", ("hs", "college", "grad"))
+        assert attr.domain_size == 3
+        assert attr.label_of(1) == "college"
+        assert attr.code_of("grad") == 2
+
+    def test_integer_domain_constructor(self):
+        attr = categorical("c", 4)
+        assert attr.domain_size == 4
+        assert attr.label_of(2) == "2"
+        assert attr.code_of("3") == 3
+
+    def test_unknown_label_rejected(self):
+        attr = categorical("edu", ("hs", "college"))
+        with pytest.raises(SchemaError):
+            attr.code_of("phd")
+
+    def test_non_integer_label_without_labels_rejected(self):
+        attr = categorical("c", 4)
+        with pytest.raises(SchemaError):
+            attr.code_of("abc")
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(SchemaError):
+            categorical("c", ("a", "a"))
+
+    def test_label_count_must_match_domain(self):
+        with pytest.raises(SchemaError):
+            CategoricalAttribute(name="c", domain_size=3, labels=("a", "b"))
+
+    def test_is_categorical(self):
+        assert categorical("c", 2).is_categorical
+
+
+class TestSchema:
+    def test_ordering_and_lookup(self, mixed_schema):
+        assert mixed_schema.names == ["age", "income", "sex", "region"]
+        assert mixed_schema.index_of("sex") == 2
+        assert mixed_schema["income"].domain_size == 80
+        assert mixed_schema[0].name == "age"
+
+    def test_kind_partitions(self, mixed_schema):
+        assert mixed_schema.numerical_indices == [0, 1]
+        assert mixed_schema.categorical_indices == [2, 3]
+
+    def test_pairs_enumeration(self, mixed_schema):
+        pairs = mixed_schema.pairs()
+        assert len(pairs) == 6
+        assert pairs[0] == (0, 1)
+        assert all(i < j for i, j in pairs)
+
+    def test_contains_and_iter(self, mixed_schema):
+        assert "age" in mixed_schema
+        assert "missing" not in mixed_schema
+        assert len(list(mixed_schema)) == 4
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError) as excinfo:
+            Schema([numerical("x", 5), numerical("x", 6)])
+        assert "x" in str(excinfo.value)
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_unknown_attribute_lookup(self, mixed_schema):
+        with pytest.raises(SchemaError):
+            mixed_schema.index_of("salary")
+
+    def test_subset_preserves_order_given(self, mixed_schema):
+        sub = mixed_schema.subset(["sex", "age"])
+        assert sub.names == ["sex", "age"]
+        assert sub["age"].domain_size == 50
+
+    def test_equality(self, mixed_schema):
+        clone = Schema(list(mixed_schema))
+        assert clone == mixed_schema
+        assert Schema([numerical("a", 2)]) != mixed_schema
+
+    def test_domain_sizes(self, mixed_schema):
+        assert mixed_schema.domain_sizes == [50, 80, 2, 5]

@@ -1,0 +1,247 @@
+"""Tests for grid sizing (paper Section 5.2) and the numeric solvers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, GridError
+from repro.grids import (
+    SizingParams,
+    error_1d_numerical,
+    error_2d_num_cat,
+    error_2d_numerical,
+    optimal_size_1d_numerical,
+    optimal_size_2d_num_cat,
+    optimal_size_2d_numerical,
+    plan_grid,
+)
+from repro.grids.solvers import (
+    bisect_increasing_root,
+    coordinate_descent,
+    refine_integer_1d,
+    refine_integer_2d,
+)
+from repro.grids.sizing import error_1d_categorical, error_2d_categorical
+
+
+@pytest.fixture
+def params():
+    return SizingParams(epsilon=1.0, n=1_000_000, m=21)
+
+
+class TestSizingParams:
+    def test_cell_variances(self, params):
+        e = math.e
+        base = params.m / (params.n * (e - 1) ** 2)
+        assert params.cell_variance_olh == pytest.approx(4 * e * base)
+        assert params.cell_variance_grr(10) == \
+            pytest.approx((e + 8) * base)
+        assert params.cell_variance("olh", 10) == params.cell_variance_olh
+        assert params.cell_variance("grr", 10) == \
+            params.cell_variance_grr(10)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"epsilon": 0.0, "n": 10, "m": 1},
+        {"epsilon": 1.0, "n": 0, "m": 1},
+        {"epsilon": 1.0, "n": 10, "m": 0},
+        {"epsilon": 1.0, "n": 10, "m": 1, "alpha1": 0.0},
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SizingParams(**kwargs)
+
+
+class TestSolvers:
+    def test_bisection_finds_root(self):
+        root = bisect_increasing_root(lambda x: x - 3.7, 0.0, 10.0)
+        assert root == pytest.approx(3.7, abs=1e-8)
+
+    def test_bisection_clamps_to_endpoints(self):
+        assert bisect_increasing_root(lambda x: x + 1, 0.0, 10.0) == 0.0
+        assert bisect_increasing_root(lambda x: x - 20, 0.0, 10.0) == 10.0
+
+    def test_bisection_empty_bracket(self):
+        with pytest.raises(GridError):
+            bisect_increasing_root(lambda x: x, 5.0, 4.0)
+
+    def test_refine_integer_1d_picks_true_minimum(self):
+        objective = lambda l: (l - 6.4) ** 2
+        best, value = refine_integer_1d(objective, 6.4, 1, 100)
+        assert best == 6
+        assert value == objective(6)
+
+    def test_refine_integer_1d_respects_bounds(self):
+        best, _ = refine_integer_1d(lambda l: (l - 50) ** 2, 50.0, 1, 10)
+        assert best == 10
+
+    def test_refine_integer_2d_descends(self):
+        objective = lambda x, y: (x - 5.6) ** 2 + (y - 3.2) ** 2
+        bx, by, value = refine_integer_2d(objective, (5.6, 3.2),
+                                          (1, 1), (10, 10))
+        assert (bx, by) == (6, 3)
+
+    def test_coordinate_descent_converges(self):
+        # min (x - 2)^2 + (y - 5)^2: solves are constant maps.
+        x, y = coordinate_descent(lambda y: 2.0, lambda x: 5.0, 0.0, 0.0)
+        assert (x, y) == (2.0, 5.0)
+
+
+class TestOptimal1D:
+    def test_olh_closed_form_matches_equation_5(self, params):
+        d, r = 1000, 0.5
+        e = math.e
+        expected = ((params.n * params.alpha1 ** 2 * (e - 1) ** 2)
+                    / (2 * params.m * r * e)) ** (1 / 3)
+        l, _ = optimal_size_1d_numerical(d, r, params, "olh")
+        assert abs(l - expected) <= 1.5
+
+    def test_returned_size_minimizes_objective(self, params):
+        d, r = 200, 0.3
+        for protocol in ("grr", "olh"):
+            l, err = optimal_size_1d_numerical(d, r, params, protocol)
+            for candidate in range(max(2, l - 3), min(d, l + 3) + 1):
+                assert err <= error_1d_numerical(candidate, r, params,
+                                                 protocol) + 1e-12
+
+    def test_lower_selectivity_means_finer_grid(self, params):
+        coarse, _ = optimal_size_1d_numerical(1000, 0.9, params, "olh")
+        fine, _ = optimal_size_1d_numerical(1000, 0.1, params, "olh")
+        assert fine > coarse
+
+    def test_more_users_means_finer_grid(self):
+        small = SizingParams(epsilon=1.0, n=10_000, m=21)
+        big = SizingParams(epsilon=1.0, n=10_000_000, m=21)
+        l_small, _ = optimal_size_1d_numerical(1000, 0.5, small, "olh")
+        l_big, _ = optimal_size_1d_numerical(1000, 0.5, big, "olh")
+        assert l_big > l_small
+
+    def test_clamped_to_domain(self):
+        big = SizingParams(epsilon=2.0, n=10**9, m=3)
+        l, _ = optimal_size_1d_numerical(16, 0.5, big, "olh")
+        assert 2 <= l <= 16
+
+    def test_degenerate_domain(self, params):
+        assert optimal_size_1d_numerical(1, 0.5, params, "olh") == (1, 0.0)
+
+    def test_invalid_selectivity(self, params):
+        with pytest.raises(GridError):
+            optimal_size_1d_numerical(100, 0.0, params, "olh")
+
+    def test_unknown_protocol(self, params):
+        with pytest.raises(ConfigurationError):
+            optimal_size_1d_numerical(100, 0.5, params, "rappor")
+
+    def test_oue_sizes_like_olh(self, params):
+        # OUE shares OLH's variance, so it must get the same grid size.
+        assert optimal_size_1d_numerical(200, 0.4, params, "oue") == \
+            optimal_size_1d_numerical(200, 0.4, params, "olh")
+
+
+class TestOptimal2D:
+    def test_symmetric_inputs_give_symmetric_sizes(self, params):
+        lx, ly, _ = optimal_size_2d_numerical(500, 500, 0.5, 0.5, params,
+                                              "olh")
+        assert abs(lx - ly) <= 1
+
+    def test_local_integer_optimality(self, params):
+        for protocol in ("grr", "olh"):
+            lx, ly, err = optimal_size_2d_numerical(200, 300, 0.4, 0.6,
+                                                    params, protocol)
+            for cx in range(max(2, lx - 2), min(200, lx + 2) + 1):
+                for cy in range(max(2, ly - 2), min(300, ly + 2) + 1):
+                    assert err <= error_2d_numerical(
+                        cx, cy, 0.4, 0.6, params, protocol) + 1e-12
+
+    def test_degenerate_axis_falls_back(self, params):
+        lx, ly, _ = optimal_size_2d_numerical(1, 100, 0.5, 0.5, params,
+                                              "olh")
+        assert lx == 1
+
+    def test_grr_grids_no_coarser_than_needed(self, params):
+        # GRR pays per cell, so its optimal grids should not be finer
+        # than OLH's for the same inputs (ties allowed).
+        lx_g, ly_g, _ = optimal_size_2d_numerical(300, 300, 0.5, 0.5,
+                                                  params, "grr")
+        lx_o, ly_o, _ = optimal_size_2d_numerical(300, 300, 0.5, 0.5,
+                                                  params, "olh")
+        assert lx_g * ly_g <= lx_o * ly_o + 1
+
+
+class TestOptimalNumCat:
+    def test_local_integer_optimality(self, params):
+        for protocol in ("grr", "olh"):
+            lx, err = optimal_size_2d_num_cat(200, 5, 0.5, 0.4, params,
+                                              protocol)
+            for cx in range(max(2, lx - 3), min(200, lx + 3) + 1):
+                assert err <= error_2d_num_cat(cx, 5, 0.5, 0.4, params,
+                                               protocol) + 1e-12
+
+    def test_larger_cat_domain_coarsens_numeric_axis(self, params):
+        l_small, _ = optimal_size_2d_num_cat(500, 2, 0.5, 0.5, params,
+                                             "olh")
+        l_big, _ = optimal_size_2d_num_cat(500, 40, 0.5, 0.5, params,
+                                           "olh")
+        assert l_big <= l_small
+
+
+class TestPlanGrid:
+    def test_categorical_1d_is_full_domain(self, params):
+        plan = plan_grid(8, False, 0.5, params)
+        assert plan.lx == 8 and plan.ly is None
+
+    def test_cat_cat_uses_full_domains(self, params):
+        plan = plan_grid(4, False, 0.5, params, domain_y=6,
+                         numerical_y=False, r_y=0.5)
+        assert (plan.lx, plan.ly) == (4, 6)
+
+    def test_cat_num_orientation(self, params):
+        plan = plan_grid(5, False, 0.5, params, domain_y=300,
+                         numerical_y=True, r_y=0.5)
+        assert plan.lx == 5
+        assert 2 <= plan.ly <= 300
+
+    def test_adaptive_picks_lower_error(self, params):
+        grr_only = plan_grid(100, True, 0.5, params, protocols=("grr",))
+        olh_only = plan_grid(100, True, 0.5, params, protocols=("olh",))
+        both = plan_grid(100, True, 0.5, params)
+        assert both.predicted_error == pytest.approx(
+            min(grr_only.predicted_error, olh_only.predicted_error))
+        assert both.protocol in ("grr", "olh")
+
+    def test_categorical_choice_matches_eq13(self, params):
+        # For fixed-size grids, the adaptive choice reduces to Eq. 13.
+        small = plan_grid(3, False, 0.5, params)
+        assert small.protocol == "grr"
+        large = plan_grid(500, False, 0.5, params)
+        assert large.protocol == "olh"
+
+    def test_empty_protocols_rejected(self, params):
+        with pytest.raises(ConfigurationError):
+            plan_grid(10, True, 0.5, params, protocols=())
+
+    def test_num_cells_property(self, params):
+        plan = plan_grid(4, False, 0.5, params, domain_y=6,
+                         numerical_y=False, r_y=0.5)
+        assert plan.num_cells == 24
+
+
+class TestErrorObjectives:
+    def test_noise_term_scales_with_cells_1d(self, params):
+        # More cells -> more noise (holding non-uniformity aside).
+        noise_only = lambda l: (error_1d_numerical(l, 0.5, params, "olh")
+                                - (params.alpha1 / l) ** 2)
+        assert noise_only(20) > noise_only(10)
+
+    def test_nonuniformity_shrinks_with_cells_1d(self, params):
+        nonuni = lambda l: (params.alpha1 / l) ** 2
+        assert nonuni(20) < nonuni(10)
+
+    def test_categorical_errors_positive(self, params):
+        assert error_1d_categorical(8, 0.5, params, "grr") > 0
+        assert error_2d_categorical(4, 6, 0.5, 0.5, params, "olh") > 0
+
+    def test_grr_error_exceeds_olh_on_large_grids(self, params):
+        err_grr = error_2d_categorical(50, 50, 0.5, 0.5, params, "grr")
+        err_olh = error_2d_categorical(50, 50, 0.5, 0.5, params, "olh")
+        assert err_grr > err_olh

@@ -1,0 +1,155 @@
+"""Tests for the SQL-ish counting-query parser."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset
+from repro.errors import QueryError
+from repro.queries.sql import parse_count_query
+from repro.schema import Schema
+from repro.schema.attribute import categorical, numerical
+
+
+@pytest.fixture
+def schema():
+    return Schema([
+        numerical("age", 100, lo=0.0, hi=100.0),
+        categorical("education", ("hs", "bachelors", "masters",
+                                  "doctorate")),
+        numerical("salary", 200, lo=0.0, hi=200_000.0),
+        numerical("score", 10),  # no real range: literals are codes
+    ])
+
+
+class TestHappyPath:
+    def test_paper_example(self, schema):
+        q = parse_count_query(
+            "SELECT COUNT(*) FROM T WHERE Age BETWEEN 30 AND 60 "
+            "AND Education IN ('doctorate', 'masters') "
+            "AND Salary <= 80000", schema)
+        assert q.dimension == 3
+        age = q.predicate_on("age")
+        assert age.interval == (30, 59)  # codes for [30, 60) years
+        education = q.predicate_on("education")
+        assert education.members == frozenset({2, 3})
+        salary = q.predicate_on("salary")
+        assert salary.interval[0] == 0
+        # 80k of 200k over 200 codes -> code 79 inclusive
+        assert salary.interval[1] == 79
+
+    def test_case_insensitive_keywords(self, schema):
+        q = parse_count_query(
+            "select count(*) from t where age between 10 and 20", schema)
+        assert q.dimension == 1
+
+    def test_trailing_semicolon(self, schema):
+        q = parse_count_query(
+            "SELECT COUNT(*) FROM t WHERE score = 5;", schema)
+        assert q.predicate_on("score").interval == (5, 5)
+
+    def test_comparisons_without_real_range_use_codes(self, schema):
+        q = parse_count_query(
+            "SELECT COUNT(*) FROM t WHERE score >= 3", schema)
+        assert q.predicate_on("score").interval == (3, 9)
+        q = parse_count_query(
+            "SELECT COUNT(*) FROM t WHERE score < 3", schema)
+        assert q.predicate_on("score").interval == (0, 2)
+        q = parse_count_query(
+            "SELECT COUNT(*) FROM t WHERE score > 3", schema)
+        assert q.predicate_on("score").interval == (4, 9)
+
+    def test_categorical_equality(self, schema):
+        q = parse_count_query(
+            "SELECT COUNT(*) FROM t WHERE education = 'hs'", schema)
+        assert q.predicate_on("education").members == frozenset({0})
+
+    def test_numeric_in_list(self, schema):
+        q = parse_count_query(
+            "SELECT COUNT(*) FROM t WHERE score IN (1, 3, 5)", schema)
+        assert q.predicate_on("score").members == frozenset({1, 3, 5})
+
+    def test_double_quoted_literals(self, schema):
+        q = parse_count_query(
+            'SELECT COUNT(*) FROM t WHERE education IN ("masters")',
+            schema)
+        assert q.predicate_on("education").members == frozenset({2})
+
+
+class TestSemantics:
+    def test_parsed_query_matches_manual_evaluation(self, schema):
+        rng = np.random.default_rng(0)
+        n = 20_000
+        records = np.column_stack([
+            rng.integers(0, 100, n),
+            rng.integers(0, 4, n),
+            rng.integers(0, 200, n),
+            rng.integers(0, 10, n),
+        ])
+        dataset = Dataset(schema, records)
+        q = parse_count_query(
+            "SELECT COUNT(*) FROM t WHERE age BETWEEN 20 AND 50 "
+            "AND education IN ('masters')", schema)
+        expected = float(np.mean(
+            (records[:, 0] >= 20) & (records[:, 0] <= 49)
+            & (records[:, 1] == 2)))
+        assert q.true_answer(dataset) == pytest.approx(expected)
+
+    def test_upper_bound_is_inclusive_of_bucket(self, schema):
+        # '<= 80000' must include the bucket containing 80000.
+        q = parse_count_query(
+            "SELECT COUNT(*) FROM t WHERE salary <= 80000", schema)
+        lo, hi = q.predicate_on("salary").interval
+        attr = schema["salary"]
+        assert attr.code_to_value(hi) <= 80_000.0 + attr.hi / \
+            attr.domain_size
+
+
+class TestErrors:
+    def test_not_a_count_query(self, schema):
+        with pytest.raises(QueryError):
+            parse_count_query("SELECT * FROM t WHERE age = 5", schema)
+
+    def test_missing_where(self, schema):
+        with pytest.raises(QueryError):
+            parse_count_query("SELECT COUNT(*) FROM t", schema)
+
+    def test_unknown_attribute(self, schema):
+        with pytest.raises(QueryError):
+            parse_count_query(
+                "SELECT COUNT(*) FROM t WHERE height > 5", schema)
+
+    def test_between_on_categorical(self, schema):
+        with pytest.raises(QueryError):
+            parse_count_query(
+                "SELECT COUNT(*) FROM t WHERE education BETWEEN 1 AND 2",
+                schema)
+
+    def test_inequality_on_categorical(self, schema):
+        with pytest.raises(QueryError):
+            parse_count_query(
+                "SELECT COUNT(*) FROM t WHERE education > 'hs'", schema)
+
+    def test_unknown_label(self, schema):
+        with pytest.raises(QueryError):
+            parse_count_query(
+                "SELECT COUNT(*) FROM t WHERE education = 'phd'", schema)
+
+    def test_empty_in_list(self, schema):
+        with pytest.raises(QueryError):
+            parse_count_query(
+                "SELECT COUNT(*) FROM t WHERE education IN ()", schema)
+
+    def test_garbage_condition(self, schema):
+        with pytest.raises(QueryError):
+            parse_count_query(
+                "SELECT COUNT(*) FROM t WHERE age !!! 5", schema)
+
+    def test_non_numeric_literal(self, schema):
+        with pytest.raises(QueryError):
+            parse_count_query(
+                "SELECT COUNT(*) FROM t WHERE age <= abc", schema)
+
+    def test_dangling_between(self, schema):
+        with pytest.raises(QueryError):
+            parse_count_query(
+                "SELECT COUNT(*) FROM t WHERE age BETWEEN 5", schema)

@@ -1,0 +1,88 @@
+"""Round-trip property tests: Query -> SQL -> Query (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queries import Query, WorkloadSpec, random_workload
+from repro.queries.sql import parse_count_query, to_sql
+from repro.schema import Schema
+from repro.schema.attribute import categorical, numerical
+
+SCHEMA_PLAIN = Schema([
+    numerical("a", 50),
+    numerical("b", 17),
+    categorical("c", ("red", "green", "blue", "cyan")),
+    categorical("d", 6),
+])
+
+SCHEMA_RANGED = Schema([
+    numerical("age", 100, lo=0.0, hi=100.0),
+    numerical("salary", 64, lo=0.0, hi=250_000.0),
+    categorical("edu", ("hs", "college", "grad")),
+])
+
+
+def _queries_equal(q1: Query, q2: Query) -> bool:
+    if q1.attributes != q2.attributes:
+        return False
+    for name in q1.attributes:
+        p1, p2 = q1.predicate_on(name), q2.predicate_on(name)
+        if p1.interval != p2.interval or p1.members != p2.members:
+            return False
+    return True
+
+
+class TestRoundTrip:
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_random_workload_round_trips_plain_schema(self, seed, dim):
+        queries = random_workload(
+            SCHEMA_PLAIN,
+            WorkloadSpec(num_queries=1, dimension=dim,
+                         selectivity=0.37),
+            rng=seed)
+        original = queries[0]
+        sql = to_sql(original, SCHEMA_PLAIN)
+        parsed = parse_count_query(sql, SCHEMA_PLAIN)
+        assert _queries_equal(original, parsed), sql
+
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_round_trips_with_real_ranges(self, seed, dim):
+        queries = random_workload(
+            SCHEMA_RANGED,
+            WorkloadSpec(num_queries=1, dimension=dim,
+                         selectivity=0.21),
+            rng=seed)
+        original = queries[0]
+        sql = to_sql(original, SCHEMA_RANGED)
+        parsed = parse_count_query(sql, SCHEMA_RANGED)
+        assert _queries_equal(original, parsed), sql
+
+    def test_rendered_sql_is_readable(self):
+        from repro.queries import between, isin
+        q = Query([between("age", 30, 59), isin("edu", [1, 2])])
+        sql = to_sql(q, SCHEMA_RANGED)
+        assert sql.startswith("SELECT COUNT(*) FROM t WHERE")
+        assert "'college', 'grad'" in sql
+
+    def test_answers_agree_after_round_trip(self):
+        rng = np.random.default_rng(0)
+        from repro.data import Dataset
+        records = np.column_stack([
+            rng.integers(0, 50, 5000),
+            rng.integers(0, 17, 5000),
+            rng.integers(0, 4, 5000),
+            rng.integers(0, 6, 5000),
+        ])
+        dataset = Dataset(SCHEMA_PLAIN, records)
+        for seed in range(5):
+            q = random_workload(SCHEMA_PLAIN,
+                                WorkloadSpec(num_queries=1, dimension=3),
+                                rng=seed)[0]
+            round_tripped = parse_count_query(to_sql(q, SCHEMA_PLAIN),
+                                              SCHEMA_PLAIN)
+            assert q.true_answer(dataset) == \
+                round_tripped.true_answer(dataset)

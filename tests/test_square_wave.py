@@ -1,0 +1,150 @@
+"""Tests for the Square Wave mechanism (Li et al. 2020; paper ref [25])."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Felip, FelipConfig
+from repro.data import normal_dataset
+from repro.errors import ConfigurationError, ProtocolError
+from repro.fo import OptimizedLocalHashing, make_oracle
+from repro.fo.square_wave import SquareWave, optimal_wave_width
+from repro.postprocess import normalize_non_negative
+
+
+class TestWaveWidth:
+    def test_closed_form(self):
+        eps = 1.0
+        e = math.e
+        expected = (eps * e - e + 1) / (2 * e * (e - 1 - eps))
+        assert optimal_wave_width(eps) == pytest.approx(expected)
+
+    def test_limits(self):
+        # b -> 1/2 as eps -> 0 (uninformative), b -> 0 as eps -> inf.
+        assert optimal_wave_width(1e-6) == pytest.approx(0.5, abs=0.01)
+        assert optimal_wave_width(20.0) < 0.01
+
+    def test_monotone_decreasing_in_epsilon(self):
+        widths = [optimal_wave_width(e) for e in (0.25, 0.5, 1, 2, 4)]
+        assert widths == sorted(widths, reverse=True)
+
+
+class TestPrivacyDesign:
+    def test_density_ratio_is_exp_epsilon(self):
+        for eps in (0.5, 1.0, 2.0):
+            sw = SquareWave(eps, 32)
+            assert sw.p / sw.q == pytest.approx(math.exp(eps))
+
+    def test_density_integrates_to_one(self):
+        sw = SquareWave(1.0, 32)
+        # 2bp + (1 + 2b - 2b) q = 2bp + q over the complement... total
+        # mass: close window 2b at density p, remainder length 1 at q.
+        assert 2 * sw.b * sw.p + 1.0 * sw.q == pytest.approx(1.0)
+
+    def test_close_report_rate_matches_design(self):
+        rng = np.random.default_rng(0)
+        # Fine report bucketing so window-boundary buckets are negligible.
+        sw = SquareWave(1.0, 16, report_buckets=800)
+        n = 200_000
+        values = np.full(n, 8)
+        v = (8 + 0.5) / 16
+        report = sw.perturb(values, rng)
+        # Reconstruct rate of reports within the wave window from buckets.
+        width = (1.0 + 2 * sw.b) / sw.report_buckets
+        edges = -sw.b + width * np.arange(sw.report_buckets + 1)
+        centers = (edges[:-1] + edges[1:]) / 2
+        close_mass = report.counts[(centers >= v - sw.b)
+                                   & (centers <= v + sw.b)].sum() / n
+        assert close_mass == pytest.approx(2 * sw.b * sw.p, abs=0.02)
+
+
+class TestTransitionMatrix:
+    def test_columns_are_distributions(self):
+        sw = SquareWave(1.0, 24, report_buckets=40)
+        m = sw._transition
+        assert m.shape == (40, 24)
+        np.testing.assert_allclose(m.sum(axis=0), np.ones(24), atol=1e-9)
+        assert (m >= 0).all()
+
+    def test_empirical_report_distribution_matches_matrix(self):
+        rng = np.random.default_rng(1)
+        sw = SquareWave(1.0, 8)
+        n = 300_000
+        report = sw.perturb(np.full(n, 3), rng)
+        observed = report.counts / n
+        np.testing.assert_allclose(observed, sw._transition[:, 3],
+                                   atol=0.01)
+
+
+class TestReconstruction:
+    def test_recovers_smooth_distribution(self):
+        rng = np.random.default_rng(2)
+        n, d = 150_000, 64
+        values = np.clip(np.rint(rng.normal(32, 8, n)), 0, d - 1).astype(
+            int)
+        true = np.bincount(values, minlength=d) / n
+        sw = SquareWave(1.0, d)
+        estimate = sw.run(values, rng)
+        assert np.abs(estimate - true).sum() < 0.25
+        assert estimate.sum() == pytest.approx(1.0, abs=1e-6)
+        assert (estimate >= 0).all()
+
+    def test_beats_olh_on_large_smooth_domain_small_epsilon(self):
+        # The SW paper's headline regime.
+        rng = np.random.default_rng(3)
+        n, d = 100_000, 256
+        values = np.clip(np.rint(rng.normal(128, 30, n)), 0,
+                         d - 1).astype(int)
+        true = np.bincount(values, minlength=d) / n
+        sw_err = np.abs(SquareWave(0.5, d).run(values, rng) - true).sum()
+        olh = normalize_non_negative(
+            OptimizedLocalHashing(0.5, d).run(values, rng))
+        olh_err = np.abs(olh - true).sum()
+        assert sw_err < olh_err
+
+    def test_smoothing_helps_on_smooth_data(self):
+        rng = np.random.default_rng(4)
+        n, d = 60_000, 128
+        values = np.clip(np.rint(rng.normal(64, 15, n)), 0, d - 1).astype(
+            int)
+        true = np.bincount(values, minlength=d) / n
+        with_s = SquareWave(0.5, d, smoothing=True).run(values, rng)
+        without = SquareWave(0.5, d, smoothing=False).run(values, rng)
+        assert np.abs(with_s - true).sum() <= \
+            np.abs(without - true).sum() + 0.05
+
+    def test_report_validation(self):
+        sw = SquareWave(1.0, 16)
+        report = sw.perturb(np.zeros(100, dtype=int),
+                            np.random.default_rng(0))
+        other = SquareWave(2.0, 16)
+        with pytest.raises(ProtocolError):
+            other.estimate(report)  # wave width mismatch
+
+    def test_invalid_report_buckets(self):
+        with pytest.raises(ProtocolError):
+            SquareWave(1.0, 16, report_buckets=1)
+
+
+class TestPipelineIntegration:
+    def test_registered_in_factory(self):
+        assert isinstance(make_oracle("sw", 1.0, 16), SquareWave)
+
+    def test_config_knob_validated(self):
+        with pytest.raises(ConfigurationError):
+            FelipConfig(one_d_protocol="wave")
+
+    def test_ohg_with_sw_refinement_runs(self):
+        dataset = normal_dataset(20_000, num_numerical=2,
+                                 num_categorical=1, numerical_domain=64,
+                                 categorical_domain=4, rng=5)
+        config = FelipConfig(epsilon=1.0, one_d_protocol="sw")
+        model = Felip(dataset.schema, config).fit(dataset, rng=6)
+        one_d = [p for p in model.grid_plans if len(p.key) == 1]
+        assert all(p.protocol == "sw" for p in one_d)
+        assert all(p.num_cells == 64 for p in one_d)
+        from repro.queries import Query, between
+        q = Query([between("num_0", 16, 48)])
+        assert model.answer(q) == pytest.approx(q.true_answer(dataset),
+                                                abs=0.1)

@@ -1,0 +1,122 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    correlated_pair_dataset,
+    ipums_like_dataset,
+    loan_like_dataset,
+    normal_dataset,
+    uniform_dataset,
+    zipf_dataset,
+)
+from repro.data.synthetic import mixed_domain_dataset
+from repro.errors import DataError
+
+
+class TestUniform:
+    def test_shape_and_schema(self):
+        ds = uniform_dataset(1000, num_numerical=2, num_categorical=3,
+                             numerical_domain=20, categorical_domain=4,
+                             rng=1)
+        assert ds.n == 1000 and ds.k == 5
+        assert len(ds.schema.numerical_indices) == 2
+        assert len(ds.schema.categorical_indices) == 3
+
+    def test_roughly_uniform_marginals(self):
+        ds = uniform_dataset(50_000, num_numerical=1, num_categorical=0,
+                             numerical_domain=10, rng=2)
+        marg = ds.marginal("num_0")
+        assert np.abs(marg - 0.1).max() < 0.02
+
+    def test_deterministic_from_seed(self):
+        a = uniform_dataset(100, rng=5).records
+        b = uniform_dataset(100, rng=5).records
+        np.testing.assert_array_equal(a, b)
+
+
+class TestNormal:
+    def test_mass_concentrates_mid_domain(self):
+        ds = normal_dataset(50_000, num_numerical=1, num_categorical=0,
+                            numerical_domain=100, rng=3)
+        marg = ds.marginal("num_0")
+        mid = marg[35:65].sum()
+        tails = marg[:10].sum() + marg[90:].sum()
+        assert mid > 0.5
+        assert tails < 0.05
+
+    def test_categoricals_are_skewed_too(self):
+        ds = normal_dataset(50_000, num_numerical=0, num_categorical=1,
+                            categorical_domain=8, rng=4)
+        marg = ds.marginal("cat_0")
+        assert marg[3] + marg[4] > 2.5 / 8
+
+
+class TestZipf:
+    def test_head_dominates(self):
+        ds = zipf_dataset(50_000, num_numerical=1, num_categorical=0,
+                          numerical_domain=50, exponent=1.5, rng=5)
+        marg = ds.marginal("num_0")
+        assert marg[0] > marg[10] > marg[40]
+
+    def test_invalid_exponent(self):
+        with pytest.raises(DataError):
+            zipf_dataset(10, exponent=0.0, rng=1)
+
+
+class TestCorrelatedPair:
+    def test_strong_positive_correlation(self):
+        ds = correlated_pair_dataset(20_000, domain=64, noise=0.05, rng=6)
+        a = ds.column("num_0").astype(float)
+        b = ds.column("num_1").astype(float)
+        assert np.corrcoef(a, b)[0, 1] > 0.9
+
+    def test_categorical_tracks_base(self):
+        ds = correlated_pair_dataset(20_000, domain=64, rng=7)
+        base = ds.column("num_0")
+        cat = ds.column("cat_0")
+        assert (cat == np.minimum(base * 4 // 64, 3)).all()
+
+
+class TestMixedDomains:
+    def test_heterogeneous_domains(self):
+        ds = mixed_domain_dataset(500, numerical_domains=[10, 200],
+                                  categorical_domains=[2, 7], rng=8)
+        assert ds.schema.domain_sizes == [10, 200, 2, 7]
+
+
+class TestRealDataSubstitutes:
+    @pytest.mark.parametrize("factory", [ipums_like_dataset,
+                                         loan_like_dataset])
+    def test_schema_shape(self, factory):
+        ds = factory(2000, numerical_domain=32, rng=9)
+        assert ds.k == 10
+        assert len(ds.schema.numerical_indices) == 5
+        assert len(ds.schema.categorical_indices) == 5
+        for i in ds.schema.numerical_indices:
+            assert ds.schema[i].domain_size == 32
+
+    def test_ipums_income_education_correlation(self):
+        ds = ipums_like_dataset(30_000, numerical_domain=64, rng=10)
+        income = ds.column("income").astype(float)
+        edu = ds.column("education_level").astype(float)
+        assert np.corrcoef(income, edu)[0, 1] > 0.2
+
+    def test_loan_rate_grade_correlation(self):
+        ds = loan_like_dataset(30_000, numerical_domain=64, rng=11)
+        rate = ds.column("interest_rate").astype(float)
+        grade = ds.column("grade").astype(float)
+        score = ds.column("credit_score").astype(float)
+        assert np.corrcoef(rate, grade)[0, 1] > 0.5
+        assert np.corrcoef(score, grade)[0, 1] < -0.5
+
+    def test_deterministic_from_seed(self):
+        a = ipums_like_dataset(500, rng=12).records
+        b = ipums_like_dataset(500, rng=12).records
+        np.testing.assert_array_equal(a, b)
+
+    def test_loan_purpose_is_heavy_tailed(self):
+        ds = loan_like_dataset(30_000, rng=13)
+        marg = ds.marginal("purpose")
+        assert marg[0] > 2 * marg[-1]

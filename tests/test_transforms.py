@@ -1,0 +1,130 @@
+"""Tests for repro.data.transforms (raw-data ingestion)."""
+
+import numpy as np
+import pytest
+
+from repro.data.transforms import (
+    build_dataset,
+    discretize_numeric,
+    encode_categorical,
+)
+from repro.errors import DataError
+
+
+class TestEqualWidth:
+    def test_basic_binning(self):
+        codes, attr = discretize_numeric("x", [0.0, 2.5, 5.0, 9.99], 10,
+                                         lo=0.0, hi=10.0)
+        np.testing.assert_array_equal(codes, [0, 2, 5, 9])
+        assert attr.domain_size == 10
+        assert attr.lo == 0.0 and attr.hi == 10.0
+
+    def test_max_value_lands_in_last_bin(self):
+        codes, _ = discretize_numeric("x", [10.0], 10, lo=0.0, hi=10.0)
+        assert codes[0] == 9
+
+    def test_out_of_range_clipped(self):
+        codes, _ = discretize_numeric("x", [-5.0, 20.0], 4, lo=0.0,
+                                      hi=10.0)
+        np.testing.assert_array_equal(codes, [0, 3])
+
+    def test_default_range_from_data(self):
+        codes, attr = discretize_numeric("x", [3.0, 7.0, 5.0], 4)
+        assert attr.lo == 3.0 and attr.hi == 7.0
+        assert codes.min() == 0 and codes.max() == 3
+
+    def test_constant_column(self):
+        codes, attr = discretize_numeric("x", [5.0, 5.0], 4)
+        assert (codes == 0).all()
+
+    def test_decode_round_trip_units(self):
+        codes, attr = discretize_numeric("salary", [10_000.0, 90_000.0],
+                                         10, lo=0.0, hi=100_000.0)
+        assert attr.code_to_value(codes[0]) == pytest.approx(15_000.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(DataError):
+            discretize_numeric("x", [1.0, float("nan")], 4)
+
+
+class TestEqualDepth:
+    def test_balanced_masses_on_skewed_data(self):
+        rng = np.random.default_rng(0)
+        values = rng.lognormal(0, 1.0, size=20_000)
+        codes, attr = discretize_numeric("x", values, 8,
+                                         strategy="equal_depth")
+        counts = np.bincount(codes, minlength=attr.domain_size)
+        assert counts.max() < 1.5 * counts.min()
+
+    def test_duplicate_quantiles_collapse(self):
+        # Heavily repeated values force fewer distinct edges.
+        values = [1.0] * 100 + [2.0] * 5
+        codes, attr = discretize_numeric("x", values, 8,
+                                         strategy="equal_depth")
+        assert attr.domain_size <= 8
+        assert codes.max() < attr.domain_size
+
+    def test_unknown_strategy(self):
+        with pytest.raises(DataError):
+            discretize_numeric("x", [1.0], 4, strategy="kmeans")
+
+
+class TestEncodeCategorical:
+    def test_sorted_label_indexing(self):
+        codes, attr = encode_categorical("c", ["b", "a", "b", "c"])
+        assert attr.labels == ("a", "b", "c")
+        np.testing.assert_array_equal(codes, [1, 0, 1, 2])
+
+    def test_non_string_values_stringified(self):
+        codes, attr = encode_categorical("c", [3, 1, 3])
+        assert attr.labels == ("1", "3")
+
+    def test_empty_column_rejected(self):
+        with pytest.raises(DataError):
+            encode_categorical("c", [])
+
+
+class TestBuildDataset:
+    def test_mixed_columns(self):
+        ds = build_dataset({
+            "age": ("numeric", [23.0, 55.0, 48.0, 35.0], 10),
+            "sex": ("categorical", ["m", "f", "f", "m"]),
+        })
+        assert ds.n == 4
+        assert ds.schema.names == ["age", "sex"]
+        assert ds.schema["age"].is_numerical
+        assert ds.schema["sex"].is_categorical
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DataError):
+            build_dataset({
+                "a": ("numeric", [1.0, 2.0], 4),
+                "b": ("categorical", ["x"]),
+            })
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(DataError):
+            build_dataset({})
+        with pytest.raises(DataError):
+            build_dataset({"a": ("numeric", [1.0])})
+        with pytest.raises(DataError):
+            build_dataset({"a": ("blob", [1.0])})
+
+    def test_end_to_end_with_felip(self):
+        # Raw columns -> dataset -> LDP collection -> query.
+        rng = np.random.default_rng(1)
+        n = 10_000
+        age = rng.normal(40, 12, n)
+        income = rng.lognormal(10, 0.5, n)
+        region = rng.choice(["n", "s", "e", "w"], size=n)
+        ds = build_dataset({
+            "age": ("numeric", age, 16),
+            "income": ("numeric", income, 16),
+            "region": ("categorical", region),
+        })
+        from repro import Felip
+        from repro.queries import Query, between
+        model = Felip.ohg(ds.schema, epsilon=2.0).fit(ds, rng=2)
+        q = Query([between("age", 0, 7)])
+        assert model.answer(q) == pytest.approx(q.true_answer(ds),
+                                                abs=0.08)

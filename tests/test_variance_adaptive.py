@@ -1,0 +1,111 @@
+"""Tests for the analytic variance formulas and the adaptive FO chooser."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError, PrivacyError, ProtocolError
+from repro.fo import (
+    GeneralizedRandomizedResponse,
+    OptimizedLocalHashing,
+    OptimizedUnaryEncoding,
+    choose_protocol,
+    grr_variance,
+    make_oracle,
+    olh_variance,
+    oue_variance,
+)
+from repro.fo.variance import grr_beats_olh
+
+
+class TestVarianceFormulas:
+    def test_grr_paper_equation_2(self):
+        # Var = (e^eps + d - 2) / (n (e^eps - 1)^2)
+        eps, d, n = 1.0, 10, 100
+        e = math.exp(eps)
+        assert grr_variance(eps, d, n) == \
+            pytest.approx((e + d - 2) / (n * (e - 1) ** 2))
+
+    def test_olh_paper_equation(self):
+        eps, n = 1.5, 500
+        e = math.exp(eps)
+        assert olh_variance(eps, n) == \
+            pytest.approx(4 * e / (n * (e - 1) ** 2))
+
+    def test_grr_variance_linear_in_domain(self):
+        v1 = grr_variance(1.0, 10, 100)
+        v2 = grr_variance(1.0, 110, 100)
+        v3 = grr_variance(1.0, 210, 100)
+        assert v3 - v2 == pytest.approx(v2 - v1)
+
+    def test_variance_decreases_with_n(self):
+        assert grr_variance(1.0, 10, 200) < grr_variance(1.0, 10, 100)
+        assert olh_variance(1.0, 200) < olh_variance(1.0, 100)
+
+    def test_variance_decreases_with_epsilon(self):
+        assert grr_variance(2.0, 10, 100) < grr_variance(1.0, 10, 100)
+        assert olh_variance(2.0, 100) < olh_variance(1.0, 100)
+
+    def test_oue_equals_olh(self):
+        assert oue_variance(0.7, 42) == olh_variance(0.7, 42)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(PrivacyError):
+            grr_variance(0.0, 10)
+        with pytest.raises(ProtocolError):
+            grr_variance(1.0, 1)
+        with pytest.raises(ProtocolError):
+            olh_variance(1.0, 0)
+
+
+class TestAdaptiveChoice:
+    def test_crossover_at_3_exp_eps(self):
+        # GRR wins iff d - 2 <= 3 e^eps (paper Eq. 13 comparison).
+        eps = 1.0
+        crossover = 3 * math.exp(eps) + 2
+        small = int(math.floor(crossover))
+        large = int(math.ceil(crossover)) + 1
+        assert grr_beats_olh(eps, small)
+        assert not grr_beats_olh(eps, large)
+
+    def test_small_domain_prefers_grr(self):
+        assert choose_protocol(1.0, 4) == "grr"
+
+    def test_large_domain_prefers_olh(self):
+        assert choose_protocol(1.0, 1000) == "olh"
+
+    def test_larger_budget_shifts_crossover_up(self):
+        # A domain OLH wins at eps=0.5 can flip to GRR at eps=3.
+        domain = 20
+        assert choose_protocol(0.5, domain) == "olh"
+        assert choose_protocol(3.0, domain) == "grr"
+
+    def test_chosen_protocol_has_min_variance(self):
+        for eps in (0.5, 1.0, 2.0):
+            for d in (3, 10, 50, 400):
+                name = choose_protocol(eps, d)
+                grr = grr_variance(eps, d)
+                olh = olh_variance(eps)
+                best = min(grr, olh)
+                chosen = grr if name == "grr" else olh
+                assert chosen == pytest.approx(best)
+
+
+class TestMakeOracle:
+    def test_builds_each_protocol(self):
+        assert isinstance(make_oracle("grr", 1.0, 8),
+                          GeneralizedRandomizedResponse)
+        assert isinstance(make_oracle("olh", 1.0, 8),
+                          OptimizedLocalHashing)
+        assert isinstance(make_oracle("oue", 1.0, 8),
+                          OptimizedUnaryEncoding)
+
+    def test_adaptive_resolves(self):
+        oracle = make_oracle("adaptive", 1.0, 4)
+        assert oracle.name == "grr"
+        oracle = make_oracle("adaptive", 1.0, 4000)
+        assert oracle.name == "olh"
+
+    def test_unknown_protocol(self):
+        with pytest.raises(ConfigurationError):
+            make_oracle("rappor", 1.0, 8)

@@ -1,0 +1,86 @@
+"""Tests for repro.queries.workload."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.queries import WorkloadSpec, random_workload
+
+
+class TestWorkloadSpec:
+    def test_defaults(self):
+        spec = WorkloadSpec()
+        assert spec.num_queries == 10 and spec.dimension == 2
+        assert spec.selectivity == 0.5 and not spec.range_only
+
+    @pytest.mark.parametrize("kwargs", [
+        {"num_queries": 0},
+        {"dimension": 0},
+        {"selectivity": 0.0},
+        {"selectivity": 1.5},
+    ])
+    def test_invalid_specs(self, kwargs):
+        with pytest.raises(QueryError):
+            WorkloadSpec(**kwargs)
+
+
+class TestRandomWorkload:
+    def test_size_and_dimension(self, mixed_schema):
+        qs = random_workload(mixed_schema,
+                             WorkloadSpec(num_queries=7, dimension=3),
+                             rng=1)
+        assert len(qs) == 7
+        assert all(q.dimension == 3 for q in qs)
+
+    def test_queries_are_valid(self, mixed_schema):
+        qs = random_workload(mixed_schema,
+                             WorkloadSpec(num_queries=20, dimension=4),
+                             rng=2)
+        for q in qs:
+            q.validate_for(mixed_schema)
+
+    def test_selectivity_of_range_predicates(self, mixed_schema):
+        qs = random_workload(
+            mixed_schema,
+            WorkloadSpec(num_queries=20, dimension=2, selectivity=0.3),
+            rng=3)
+        for q in qs:
+            for pred in q:
+                attr = mixed_schema[pred.attribute]
+                sel = pred.selectivity(attr.domain_size)
+                # Width rounds to the nearest integer count of values.
+                assert abs(sel - 0.3) <= 1.0 / attr.domain_size + 1e-9
+
+    def test_range_only_uses_numerical_attributes(self, mixed_schema):
+        qs = random_workload(
+            mixed_schema,
+            WorkloadSpec(num_queries=10, dimension=2, range_only=True),
+            rng=4)
+        for q in qs:
+            for pred in q:
+                assert pred.is_range
+                assert mixed_schema[pred.attribute].is_numerical
+
+    def test_range_only_needs_enough_numericals(self, mixed_schema):
+        with pytest.raises(QueryError):
+            random_workload(
+                mixed_schema,
+                WorkloadSpec(dimension=3, range_only=True), rng=5)
+
+    def test_dimension_exceeding_attributes(self, mixed_schema):
+        with pytest.raises(QueryError):
+            random_workload(mixed_schema, WorkloadSpec(dimension=5), rng=6)
+
+    def test_deterministic_from_seed(self, mixed_schema):
+        a = random_workload(mixed_schema, WorkloadSpec(), rng=7)
+        b = random_workload(mixed_schema, WorkloadSpec(), rng=7)
+        assert [str(q) for q in a] == [str(q) for q in b]
+
+    def test_full_selectivity_allowed(self, mixed_schema):
+        qs = random_workload(
+            mixed_schema,
+            WorkloadSpec(num_queries=5, dimension=2, selectivity=1.0),
+            rng=8)
+        for q in qs:
+            for pred in q:
+                attr = mixed_schema[pred.attribute]
+                assert pred.selectivity(attr.domain_size) == 1.0

@@ -1,0 +1,87 @@
+"""Tests for workload-aware planning helpers and the joint accessor."""
+
+import numpy as np
+import pytest
+
+from repro import Felip, FelipConfig
+from repro.data import normal_dataset, uniform_dataset
+from repro.errors import QueryError
+from repro.queries import (
+    Query,
+    between,
+    isin,
+    selectivity_profile,
+)
+
+
+class TestSelectivityProfile:
+    def test_averages_per_attribute(self, mixed_schema):
+        queries = [
+            Query([between("age", 0, 24)]),            # sel 0.5
+            Query([between("age", 0, 4),               # sel 0.1
+                   isin("sex", [0])]),                 # sel 0.5
+        ]
+        profile = selectivity_profile(queries, mixed_schema)
+        assert profile["age"] == pytest.approx(0.3)
+        assert profile["sex"] == pytest.approx(0.5)
+        assert "income" not in profile
+
+    def test_validates_queries(self, mixed_schema):
+        with pytest.raises(QueryError):
+            selectivity_profile([Query([between("height", 0, 1)])],
+                                mixed_schema)
+
+    def test_feeds_config_overrides(self, mixed_schema):
+        queries = [Query([between("age", 0, 9)])]
+        profile = selectivity_profile(queries, mixed_schema)
+        config = FelipConfig(selectivity_overrides=profile)
+        assert config.selectivity_for("age") == pytest.approx(0.2)
+        assert config.selectivity_for("income") == 0.5
+
+    def test_profile_changes_planned_grid_sizes(self):
+        dataset = uniform_dataset(100_000, num_numerical=3,
+                                  num_categorical=0,
+                                  numerical_domain=256, rng=1)
+        narrow_queries = [Query([between("num_0", 0, 12)])]  # sel 0.05
+        profile = selectivity_profile(narrow_queries, dataset.schema)
+        narrow = Felip.ohg(dataset.schema,
+                           selectivity_overrides=profile)
+        default = Felip.ohg(dataset.schema)
+        narrow.fit(dataset.sample(5000, rng=2), rng=3)
+        default.fit(dataset.sample(5000, rng=2), rng=3)
+        cells = lambda m: {p.key: p.num_cells for p in m.grid_plans}
+        # Narrow queries -> finer 1-D grid on the profiled attribute.
+        assert cells(narrow)[(0,)] > cells(default)[(0,)]
+
+
+class TestJointAccessor:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        dataset = normal_dataset(40_000, num_numerical=2,
+                                 num_categorical=1, numerical_domain=16,
+                                 categorical_domain=4, rng=4)
+        model = Felip.ohg(dataset.schema, epsilon=2.0).fit(dataset, rng=5)
+        return dataset, model
+
+    def test_shape_and_mass(self, fitted):
+        dataset, model = fitted
+        joint = model.joint("num_0", "cat_0")
+        assert joint.shape == (16, 4)
+        assert joint.sum() == pytest.approx(1.0, abs=0.01)
+
+    def test_orientation_transpose(self, fitted):
+        _, model = fitted
+        a = model.joint("num_0", "cat_0")
+        b = model.joint("cat_0", "num_0")
+        np.testing.assert_allclose(a, b.T)
+
+    def test_tracks_true_joint(self, fitted):
+        dataset, model = fitted
+        estimated = model.joint("num_0", "num_1")
+        true = dataset.joint_marginal("num_0", "num_1")
+        assert np.abs(estimated - true).sum() < 0.5
+
+    def test_same_attribute_rejected(self, fitted):
+        _, model = fitted
+        with pytest.raises(QueryError):
+            model.joint("num_0", "num_0")
