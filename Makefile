@@ -1,0 +1,23 @@
+# Developer entry points. PYTHONPATH=src everywhere: the package is laid
+# out src/-style but is exercised in place, uninstalled.
+
+PY := PYTHONPATH=src python
+
+.PHONY: test bench-kernels bench-figures
+
+# Tier-1: the gate every PR must keep green.
+test:
+	$(PY) -m pytest -x -q
+
+# Micro-primitive benchmarks (tiled OLH kernel, perturb/estimate, HIO
+# answer throughput). Writes BENCH_kernels.json so PRs can diff kernel
+# throughput over time.
+bench-kernels:
+	$(PY) -m pytest benchmarks/test_micro_primitives.py -m benchmarks -q \
+	    --benchmark-json=.bench_raw.json
+	$(PY) benchmarks/record.py .bench_raw.json BENCH_kernels.json
+	@rm -f .bench_raw.json
+
+# The full figure-regeneration benchmark suite (slow).
+bench-figures:
+	$(PY) -m pytest benchmarks -m benchmarks -q

@@ -1,0 +1,11 @@
+"""Benchmark-suite conftest: tag every test here with the ``benchmarks``
+marker so CI can select (``-m benchmarks``) or exclude them explicitly."""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        item.add_marker(pytest.mark.benchmarks)

@@ -9,20 +9,27 @@ import pytest
 
 from benchmarks.common import bench_scale
 from repro import Felip
-from repro.data import normal_dataset
+from repro.data import normal_dataset, uniform_dataset
 from repro.fo import (
     GeneralizedRandomizedResponse,
     OptimizedLocalHashing,
     OptimizedUnaryEncoding,
 )
+from repro.fo.hashing import mix_seeds, random_seeds, tiled_support_counts
 
 _N = 100_000
 _DOMAIN = 64
+_DOMAIN_LARGE = 1024
 
 
 @pytest.fixture(scope="module")
 def values():
     return np.random.default_rng(0).integers(0, _DOMAIN, size=_N)
+
+
+@pytest.fixture(scope="module")
+def values_large():
+    return np.random.default_rng(0).integers(0, _DOMAIN_LARGE, size=_N)
 
 
 def test_grr_perturb(benchmark, values):
@@ -47,6 +54,54 @@ def test_olh_estimate(benchmark, values):
     oracle = OptimizedLocalHashing(1.0, _DOMAIN)
     report = oracle.perturb(values, np.random.default_rng(4))
     benchmark(lambda: oracle.estimate(report))
+
+
+def test_olh_estimate_d1024(benchmark, values_large):
+    oracle = OptimizedLocalHashing(1.0, _DOMAIN_LARGE)
+    report = oracle.perturb(values_large, np.random.default_rng(4))
+    benchmark(lambda: oracle.estimate(report))
+
+
+def _bench_kernel(benchmark, domain):
+    # The cold-path kernel itself (no support-count memoization): one
+    # O(d*n) tiled sweep per call.
+    rng = np.random.default_rng(7)
+    oracle = OptimizedLocalHashing(1.0, domain)
+    mixed = mix_seeds(random_seeds(_N, rng))
+    buckets = rng.integers(0, oracle.g, size=_N).astype(np.uint64)
+    candidates = np.arange(domain, dtype=np.uint64)
+    benchmark(lambda: tiled_support_counts(mixed, buckets, oracle.g,
+                                           candidates))
+
+
+def test_support_kernel_d64(benchmark):
+    _bench_kernel(benchmark, _DOMAIN)
+
+
+def test_support_kernel_d1024(benchmark):
+    _bench_kernel(benchmark, _DOMAIN_LARGE)
+
+
+def test_hio_answer_throughput(benchmark):
+    # End-to-end answer latency of the OLH-backed HIO baseline: interval
+    # covers -> per-group tiled support counting. The memo cache is
+    # cleared each round so every call pays the full on-demand
+    # estimation, not a dictionary lookup.
+    from repro.baselines import HIO
+    from repro.queries import Query, between
+
+    dataset = uniform_dataset(20_000, num_numerical=2, num_categorical=0,
+                              numerical_domain=64, rng=8)
+    hio = HIO(dataset.schema, epsilon=1.0, branching=4)
+    hio.fit(dataset, rng=9)
+    queries = [Query([between("num_0", lo, lo + 15),
+                      between("num_1", 8, 47)]) for lo in range(0, 48, 6)]
+
+    def answer_all():
+        hio._cache = {}
+        return [hio.answer(q) for q in queries]
+
+    benchmark(answer_all)
 
 
 def test_oue_round_trip(benchmark, values):

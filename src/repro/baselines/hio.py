@@ -31,6 +31,7 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -40,7 +41,12 @@ from repro.core.partition import partition_users
 from repro.data.dataset import Dataset
 from repro.errors import NotFittedError, QueryError
 from repro.fo.base import validate_epsilon
-from repro.fo.hashing import chain_hash, random_seeds, splitmix64
+from repro.fo.hashing import (
+    chain_hash,
+    mix_seeds,
+    random_seeds,
+    tiled_support_counts,
+)
 from repro.fo.olh import optimal_hash_range
 from repro.queries.predicate import Predicate
 from repro.queries.query import Query
@@ -53,11 +59,21 @@ _WeightedEntry = Tuple[int, int, float]
 
 @dataclass
 class _Group:
-    """Reports of one k-dim level group."""
+    """Reports of one k-dim level group (``buckets`` stored as uint64)."""
 
     levels: Tuple[int, ...]
     seeds: np.ndarray
     buckets: np.ndarray
+
+    @cached_property
+    def mixed_seeds(self) -> np.ndarray:
+        """Pre-mixed splitmix64 state, computed on first estimate.
+
+        HIO estimates per-interval frequencies lazily and memoizes them,
+        so one group is typically queried many times; caching the mix
+        keeps repeated queries from re-hashing the seeds.
+        """
+        return mix_seeds(self.seeds)
 
     @property
     def size(self) -> int:
@@ -135,14 +151,13 @@ class HIO:
             components[:, t] = stacked[per_user_levels[:, t], rows]
 
         seeds = random_seeds(n, rng)
-        state = splitmix64(seeds)
-        for t in range(k):
-            state = splitmix64(state ^ components[:, t])
-        hashed = (state % np.uint64(self.g)).astype(np.int64)
+        hashed = chain_hash(
+            seeds, [components[:, t] for t in range(k)],
+            self.g).astype(np.int64)
         keep = rng.random(n) < self.p
         others = rng.integers(0, self.g - 1, size=n)
         others = others + (others >= hashed)
-        buckets = np.where(keep, hashed, others)
+        buckets = np.where(keep, hashed, others).astype(np.uint64)
 
         order = np.argsort(assignment, kind="stable")
         boundaries = np.searchsorted(assignment[order],
@@ -168,10 +183,11 @@ class HIO:
                                   intervals_list) -> np.ndarray:
         """Estimate many k-dim intervals of one group in one pass.
 
-        Vectorizes the support counting over (terms x users): the chained
-        splitmix state is advanced column by column over a ``(T, n_g)``
-        matrix, so a query's whole term batch costs one numpy sweep
-        instead of one Python iteration per term. Results are memoized.
+        The support counting over (terms x users) runs through the shared
+        tiled kernel (:func:`repro.fo.hashing.tiled_support_counts`), so a
+        query's whole term batch costs one memory-bounded numpy sweep
+        instead of one Python iteration per term. The group's mixed seed
+        state is cached, and results are memoized per (combo, interval).
         """
         group = self._groups[combo]
         estimates = np.zeros(len(intervals_list))
@@ -180,24 +196,12 @@ class HIO:
         if missing and group.size > 0:
             arr = np.asarray([intervals_list[i] for i in missing],
                              dtype=np.uint64)
-            buckets = group.buckets.astype(np.uint64)
-            # Block over terms so peak memory stays ~tens of MB even for
-            # huge coarsened covers against large groups.
-            block = max(1, 4_000_000 // max(group.size, 1))
-            base_state = splitmix64(group.seeds)
-            for start in range(0, len(arr), block):
-                chunk = arr[start:start + block]
-                state = np.broadcast_to(
-                    base_state, (len(chunk), group.size)).copy()
-                for t in range(chunk.shape[1]):
-                    state = splitmix64(state ^ chunk[:, t][:, None])
-                support = (state % np.uint64(self.g)
-                           == buckets[None, :]).sum(axis=1)
-                chunk_est = ((support / group.size - 1.0 / self.g)
-                             / (self.p - 1.0 / self.g))
-                for offset, est in enumerate(chunk_est):
-                    idx = missing[start + offset]
-                    self._cache[(combo, intervals_list[idx])] = float(est)
+            support = tiled_support_counts(
+                group.mixed_seeds, group.buckets, self.g, arr)
+            missing_est = ((support / group.size - 1.0 / self.g)
+                           / (self.p - 1.0 / self.g))
+            for idx, est in zip(missing, missing_est):
+                self._cache[(combo, intervals_list[idx])] = float(est)
         elif missing:
             for i in missing:
                 self._cache[(combo, intervals_list[i])] = 0.0

@@ -90,12 +90,14 @@ def plan_grids(schema: Schema, config: FelipConfig, n: int) -> \
     if n < 1:
         raise ConfigurationError(f"n must be >= 1, got {n}")
     if len(schema) < 2:
-        raise ConfigurationError(
-            "FELIP needs at least two attributes (2-D grids over pairs)")
-
-    numerical = set(schema.numerical_indices)
-    one_d_attrs = (sorted(numerical) if config.uses_1d_grids else [])
-    pairs = schema.pairs()
+        # No pairs exist, so the only possible plan is the attribute's
+        # own 1-D grid; marginals then come straight from that grid.
+        one_d_attrs = [0]
+        pairs = []
+    else:
+        numerical = set(schema.numerical_indices)
+        one_d_attrs = (sorted(numerical) if config.uses_1d_grids else [])
+        pairs = schema.pairs()
     m = len(one_d_attrs) + len(pairs)
     params = SizingParams(epsilon=config.epsilon, n=n, m=m,
                           alpha1=config.alpha1, alpha2=config.alpha2)
@@ -128,8 +130,8 @@ def plan_grids(schema: Schema, config: FelipConfig, n: int) -> \
                 lx=cells, ly=None, protocol="olh",
                 predicted_error=float("nan"))
         else:
-            planning = plan_grid(attr.domain_size, True, r, params,
-                                 protocols=config.protocols)
+            planning = plan_grid(attr.domain_size, attr.is_numerical, r,
+                                 params, protocols=config.protocols)
         grid = Grid1D(t, attr, _binning(attr.domain_size, planning.lx))
         planned.append(PlannedGrid(
             grid=grid, protocol=planning.protocol,

@@ -241,11 +241,17 @@ class Aggregator:
         """Estimated value-level frequency vector of one attribute.
 
         Derived from the response matrix of the attribute's first pair, so
-        it reflects all post-processing.
+        it reflects all post-processing. Single-attribute schemas have no
+        pair to build a matrix from; the attribute's own 1-D grid estimate
+        is expanded to value level instead (within-cell uniformity).
         """
         self._require_fitted()
         t = (self.schema.index_of(attribute) if isinstance(attribute, str)
              else int(attribute))
+        if len(self.schema) == 1:
+            estimate = self.estimate_for((t,))
+            widths = estimate.grid.binning.widths
+            return np.repeat(estimate.frequencies / widths, widths)
         partner = 0 if t != 0 else 1
         i, j = min(t, partner), max(t, partner)
         matrix = self.response_matrix(i, j)

@@ -18,9 +18,19 @@ from repro.fo.he import (
     ThresholdHistogramEncoding,
 )
 from repro.fo.adaptive import choose_protocol, make_oracle
+from repro.fo.hashing import (
+    DEFAULT_TILE_BYTES,
+    chain_hash,
+    mix_seeds,
+    tiled_support_counts,
+)
 from repro.fo.variance import grr_variance, olh_variance, oue_variance
 
 __all__ = [
+    "DEFAULT_TILE_BYTES",
+    "chain_hash",
+    "mix_seeds",
+    "tiled_support_counts",
     "FrequencyOracle",
     "GeneralizedRandomizedResponse",
     "OptimizedLocalHashing",

@@ -11,24 +11,44 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
 from repro.errors import ProtocolError
 from repro.fo.base import FrequencyOracle
-from repro.fo.hashing import chain_hash, random_seeds
+from repro.fo.hashing import (
+    DEFAULT_TILE_BYTES,
+    chain_hash,
+    mix_seeds,
+    random_seeds,
+    tiled_support_counts,
+)
 from repro.fo.variance import olh_variance
 from repro.rng import RngLike, ensure_rng
 
 
 def optimal_hash_range(epsilon: float) -> int:
     """``g`` minimizing OLH variance: ``⌈e^ε⌉ + 1``, at least 2."""
-    return max(2, int(math.ceil(math.exp(epsilon))) + 1)
+    try:
+        e = math.exp(epsilon)
+    except OverflowError:
+        raise ProtocolError(
+            f"epsilon={epsilon} is too large for OLH: e^epsilon overflows "
+            f"(the optimal hash range ⌈e^ε⌉ + 1 would exceed float range); "
+            f"use GRR, or pass an explicit hash_range"
+        ) from None
+    return max(2, int(math.ceil(e)) + 1)
 
 
 @dataclass(frozen=True)
 class OLHReport:
-    """Batch of OLH reports: per-user hash seed and perturbed bucket."""
+    """Batch of OLH reports: per-user hash seed and perturbed bucket.
+
+    Invariants enforced at construction: one bucket per seed, and every
+    bucket in ``[0, hash_range)``. ``seeds`` and ``buckets`` are normalized
+    to ``uint64`` so estimation never re-casts inside the hot path.
+    """
 
     seeds: np.ndarray
     buckets: np.ndarray
@@ -36,10 +56,35 @@ class OLHReport:
     domain_size: int
 
     def __post_init__(self) -> None:
-        if len(self.seeds) != len(self.buckets):
+        seeds = np.asarray(self.seeds, dtype=np.uint64)
+        buckets = np.asarray(self.buckets)
+        if len(seeds) != len(buckets):
             raise ProtocolError(
-                f"{len(self.seeds)} seeds vs {len(self.buckets)} buckets"
+                f"{len(seeds)} seeds vs {len(buckets)} buckets"
             )
+        if self.hash_range < 1:
+            raise ProtocolError(
+                f"hash range must be >= 1, got {self.hash_range}")
+        if len(buckets) and (
+                (buckets.min() < 0)
+                or np.uint64(buckets.max()) >= np.uint64(self.hash_range)):
+            raise ProtocolError(
+                f"buckets must lie in [0, {self.hash_range}), got range "
+                f"[{buckets.min()}, {buckets.max()}]"
+            )
+        object.__setattr__(self, "seeds", seeds)
+        object.__setattr__(
+            self, "buckets", buckets.astype(np.uint64, copy=False))
+
+    @cached_property
+    def mixed_seeds(self) -> np.ndarray:
+        """Pre-mixed splitmix64 state, computed once per report batch.
+
+        Every support-counting pass starts from this state; caching it on
+        the report means repeated estimates (or repeated interval queries
+        against the same report, as HIO issues) skip the re-mix.
+        """
+        return mix_seeds(self.seeds)
 
     def __len__(self) -> int:
         return len(self.seeds)
@@ -51,11 +96,13 @@ class OptimizedLocalHashing(FrequencyOracle):
     name = "olh"
 
     def __init__(self, epsilon: float, domain_size: int,
-                 hash_range: int = None):
+                 hash_range: int = None,
+                 tile_bytes: int = DEFAULT_TILE_BYTES):
         super().__init__(epsilon, domain_size)
         self.g = hash_range or optimal_hash_range(self.epsilon)
         if self.g < 2:
             raise ProtocolError(f"hash range must be >= 2, got {self.g}")
+        self.tile_bytes = tile_bytes
         e = math.exp(self.epsilon)
         self.p = e / (e + self.g - 1)
         self.q = 1.0 / (e + self.g - 1)
@@ -75,13 +122,23 @@ class OptimizedLocalHashing(FrequencyOracle):
                          hash_range=self.g, domain_size=self.domain_size)
 
     def support_counts(self, report: OLHReport) -> np.ndarray:
-        """``C(v)`` for every ``v``: reports whose hash of ``v`` matches."""
-        counts = np.empty(self.domain_size, dtype=np.int64)
-        for v in range(self.domain_size):
-            hashed_v = chain_hash(report.seeds, [v], self.g)
-            counts[v] = int(np.count_nonzero(
-                hashed_v == report.buckets.astype(np.uint64)))
-        return counts
+        """``C(v)`` for every ``v``: reports whose hash of ``v`` matches.
+
+        One call to the tiled kernel over the whole domain — O(d·n) work in
+        numpy tiles bounded by ``tile_bytes``, no Python-level loop over
+        domain values. Counts are memoized on the report (keyed by hash
+        range and domain), so answering many queries against one collected
+        batch pays the O(d·n) sweep once; a report batch is immutable, so
+        its support counts never change.
+        """
+        cache = report.__dict__.setdefault("_support_counts", {})
+        key = (self.g, self.domain_size)
+        if key not in cache:
+            cache[key] = tiled_support_counts(
+                report.mixed_seeds, report.buckets, self.g,
+                np.arange(self.domain_size, dtype=np.uint64),
+                tile_bytes=self.tile_bytes)
+        return cache[key].copy()
 
     def estimate(self, report: OLHReport) -> np.ndarray:
         """Φ_OLH: unbias the support counts."""

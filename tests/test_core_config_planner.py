@@ -135,10 +135,20 @@ class TestPlanGrids:
         for p in plans:
             assert p.cell_variance > 0
 
-    def test_single_attribute_schema_rejected(self):
+    def test_single_attribute_schema_plans_own_1d_grid(self):
+        # No pairs exist, so the plan degenerates to the attribute's own
+        # 1-D grid (this is what single-attribute marginals read from).
         schema = Schema([numerical("x", 8)])
-        with pytest.raises(ConfigurationError):
-            plan_grids(schema, FelipConfig(), n=1000)
+        plans = plan_grids(schema, FelipConfig(), n=1000)
+        assert len(plans) == 1
+        assert isinstance(plans[0].grid, Grid1D)
+        assert plans[0].key == (0,)
+
+    def test_single_categorical_attribute_plans_full_domain(self):
+        schema = Schema([categorical("c", 6)])
+        plans = plan_grids(schema, FelipConfig(), n=1000)
+        assert len(plans) == 1
+        assert plans[0].grid.num_cells == 6
 
     def test_invalid_n(self, schema):
         with pytest.raises(ConfigurationError):

@@ -102,6 +102,30 @@ class TestAggregator:
         assert len(marginal) == 16
         assert marginal.sum() == pytest.approx(1.0, abs=0.01)
 
+    def test_single_attribute_marginal_and_mean(self):
+        # Regression: marginal()/estimate_mean() used to crash with
+        # IndexError on single-attribute schemas (no partner attribute to
+        # build a response matrix from); they now read the attribute's own
+        # 1-D grid estimate.
+        schema = Schema([numerical("x", 32, lo=0.0, hi=32.0)])
+        rng = np.random.default_rng(6)
+        ds = Dataset(schema, rng.integers(0, 32, size=(6_000, 1)))
+        agg = Aggregator(schema, FelipConfig(epsilon=2.0)).fit(ds, rng=7)
+        marginal = agg.marginal("x")
+        assert marginal.shape == (32,)
+        assert marginal.sum() == pytest.approx(1.0, abs=0.05)
+        mean = agg.estimate_mean("x")
+        assert mean == pytest.approx(15.5 + 0.5, abs=3.0)
+
+    def test_single_categorical_attribute_marginal(self):
+        schema = Schema([categorical("c", 4)])
+        rng = np.random.default_rng(8)
+        ds = Dataset(schema, rng.integers(0, 4, size=(5_000, 1)))
+        agg = Aggregator(schema, FelipConfig(epsilon=2.0)).fit(ds, rng=9)
+        marginal = agg.marginal(0)
+        assert marginal.shape == (4,)
+        assert marginal.sum() == pytest.approx(1.0, abs=0.05)
+
     def test_single_predicate_answers(self, small_dataset):
         agg = Aggregator(small_dataset.schema, FelipConfig()).fit(
             small_dataset, rng=5)

@@ -52,16 +52,15 @@ class TestCorruptedGRRReports:
 
 
 class TestCorruptedOLHReports:
-    def test_bucket_values_outside_hash_range(self):
+    def test_bucket_values_outside_hash_range_rejected(self):
+        # Out-of-range buckets used to pass silently and corrupt support
+        # counts; the report now rejects them at construction.
         oracle = OptimizedLocalHashing(1.0, 8)
         seeds = np.arange(100, dtype=np.uint64)
         buckets = np.full(100, 10_000, dtype=np.int64)  # absurd bucket
-        report = OLHReport(seeds=seeds, buckets=buckets,
-                           hash_range=oracle.g, domain_size=8)
-        estimates = oracle.estimate(report)
-        # No user supports anything: all estimates at the negative floor.
-        assert np.isfinite(estimates).all()
-        assert (estimates < 0.1).all()
+        with pytest.raises(ProtocolError):
+            OLHReport(seeds=seeds, buckets=buckets,
+                      hash_range=oracle.g, domain_size=8)
 
     def test_adversarial_seeds_still_finite(self):
         oracle = OptimizedLocalHashing(1.0, 8)

@@ -166,6 +166,64 @@ class TestOLH:
         assert counts.shape == (10,)
         assert (counts >= 0).all() and (counts <= 500).all()
 
+    def test_support_counts_match_looped_reference(self):
+        # The tiled kernel must be bit-identical to the pre-kernel loop.
+        from repro.fo.hashing import chain_hash
+        rng = np.random.default_rng(11)
+        oracle = OptimizedLocalHashing(1.0, 37)
+        report = oracle.perturb(rng.integers(0, 37, size=2000), rng)
+        looped = np.array(
+            [np.count_nonzero(chain_hash(report.seeds, [v], oracle.g)
+                              == report.buckets) for v in range(37)],
+            dtype=np.int64)
+        np.testing.assert_array_equal(oracle.support_counts(report), looped)
+
+    def test_support_counts_memoized_per_report(self):
+        rng = np.random.default_rng(12)
+        oracle = OptimizedLocalHashing(1.0, 16)
+        report = oracle.perturb(rng.integers(0, 16, size=300), rng)
+        first = oracle.support_counts(report)
+        first[:] = -1  # callers get a copy; the cache must not see this
+        second = oracle.support_counts(report)
+        assert (second >= 0).all()
+        assert (oracle.g, 16) in report.__dict__["_support_counts"]
+
+    def test_optimal_hash_range_huge_epsilon_raises_protocol_error(self):
+        # math.exp overflows for eps >~ 710; the bare OverflowError is now
+        # wrapped in a ProtocolError with an actionable message.
+        with pytest.raises(ProtocolError, match="too large"):
+            optimal_hash_range(1000.0)
+
+    def test_report_rejects_out_of_range_buckets(self):
+        from repro.fo.olh import OLHReport
+        seeds = np.zeros(3, dtype=np.uint64)
+        with pytest.raises(ProtocolError):
+            OLHReport(seeds=seeds,
+                      buckets=np.array([0, 1, 4], dtype=np.int64),
+                      hash_range=4, domain_size=8)
+
+    def test_report_rejects_negative_buckets(self):
+        from repro.fo.olh import OLHReport
+        seeds = np.zeros(3, dtype=np.uint64)
+        with pytest.raises(ProtocolError):
+            OLHReport(seeds=seeds,
+                      buckets=np.array([0, -1, 2], dtype=np.int64),
+                      hash_range=4, domain_size=8)
+
+    def test_report_normalizes_buckets_to_uint64(self):
+        from repro.fo.olh import OLHReport
+        report = OLHReport(seeds=np.zeros(3, dtype=np.uint64),
+                           buckets=np.array([0, 1, 3], dtype=np.int64),
+                           hash_range=4, domain_size=8)
+        assert report.buckets.dtype == np.uint64
+        assert report.seeds.dtype == np.uint64
+
+    def test_perturbed_reports_always_valid(self):
+        rng = np.random.default_rng(13)
+        oracle = OptimizedLocalHashing(0.5, 12)
+        report = oracle.perturb(rng.integers(0, 12, size=5000), rng)
+        assert int(report.buckets.max()) < oracle.g
+
 
 class TestOUE:
     def test_unbiased_estimate(self):

@@ -2,9 +2,29 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ProtocolError
-from repro.fo.hashing import chain_hash, random_seeds, splitmix64
+from repro.fo.hashing import (
+    chain_hash,
+    mix_seeds,
+    random_seeds,
+    splitmix64,
+    tiled_support_counts,
+)
+
+
+def _looped_support_counts(seeds, buckets, hash_range, candidates):
+    """The pre-kernel reference: one chain_hash pass per candidate."""
+    cand = np.asarray(candidates, dtype=np.uint64)
+    if cand.ndim == 1:
+        cand = cand[:, None]
+    buckets = np.asarray(buckets, dtype=np.uint64)
+    return np.array(
+        [np.count_nonzero(chain_hash(seeds, list(row), hash_range)
+                          == buckets) for row in cand],
+        dtype=np.int64)
 
 
 class TestSplitmix:
@@ -79,6 +99,88 @@ class TestChainHash:
     def test_empty_components_rejected(self):
         with pytest.raises(ProtocolError):
             chain_hash(np.uint64(1), [], 4)
+
+
+class TestTiledSupportCounts:
+    @settings(deadline=None, max_examples=30)
+    @given(
+        n=st.integers(0, 400),
+        domain=st.integers(1, 60),
+        components=st.integers(1, 3),
+        hash_range=st.integers(2, 17),
+        tile_bytes=st.sampled_from([16, 256, 10_000, 64 * 1024 * 1024]),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    def test_bit_identical_to_looped_reference(self, n, domain, components,
+                                               hash_range, tile_bytes,
+                                               seed):
+        # The acceptance property: across random seeds, domain sizes, tile
+        # boundaries (tiny caps force many tiles), hash ranges (power-of-two
+        # and not) and multi-component values, the kernel's counts are
+        # bit-identical to the looped chain_hash reference.
+        rng = np.random.default_rng(seed)
+        seeds = random_seeds(n, rng)
+        buckets = rng.integers(0, hash_range, size=n).astype(np.uint64)
+        if components == 1:
+            candidates = np.arange(domain, dtype=np.uint64)
+        else:
+            candidates = rng.integers(
+                0, 2**63, size=(domain, components)).astype(np.uint64)
+        expected = _looped_support_counts(seeds, buckets, hash_range,
+                                          candidates)
+        got = tiled_support_counts(mix_seeds(seeds), buckets, hash_range,
+                                   candidates, tile_bytes=tile_bytes)
+        np.testing.assert_array_equal(got, expected)
+        assert got.dtype == np.int64
+
+    def test_tile_boundary_exactness(self):
+        # Domain sizes straddling the tile boundary: force 1-candidate
+        # tiles and oddly split user chunks.
+        rng = np.random.default_rng(7)
+        n, g = 1000, 5
+        seeds = random_seeds(n, rng)
+        buckets = rng.integers(0, g, size=n).astype(np.uint64)
+        expected = _looped_support_counts(seeds, buckets, g, np.arange(33))
+        for tile_bytes in (16, 8 * 999, 8 * 1000, 8 * 1001, 1 << 20):
+            got = tiled_support_counts(mix_seeds(seeds), buckets, g,
+                                       np.arange(33), tile_bytes=tile_bytes)
+            np.testing.assert_array_equal(got, expected)
+
+    def test_zero_reports(self):
+        counts = tiled_support_counts(
+            np.empty(0, dtype=np.uint64), np.empty(0, dtype=np.uint64),
+            4, np.arange(10))
+        np.testing.assert_array_equal(counts, np.zeros(10, dtype=np.int64))
+
+    def test_zero_candidates(self):
+        seeds = random_seeds(5, np.random.default_rng(0))
+        counts = tiled_support_counts(
+            mix_seeds(seeds), np.zeros(5, dtype=np.uint64), 4,
+            np.empty(0, dtype=np.uint64))
+        assert counts.shape == (0,)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ProtocolError):
+            tiled_support_counts(np.zeros(3, dtype=np.uint64),
+                                 np.zeros(2, dtype=np.uint64), 4,
+                                 np.arange(4))
+
+    def test_invalid_hash_range_rejected(self):
+        with pytest.raises(ProtocolError):
+            tiled_support_counts(np.zeros(2, dtype=np.uint64),
+                                 np.zeros(2, dtype=np.uint64), 0,
+                                 np.arange(4))
+
+    def test_invalid_tile_bytes_rejected(self):
+        with pytest.raises(ProtocolError):
+            tiled_support_counts(np.zeros(2, dtype=np.uint64),
+                                 np.zeros(2, dtype=np.uint64), 4,
+                                 np.arange(4), tile_bytes=0)
+
+    def test_mix_seeds_matches_chain_prefix(self):
+        # mix_seeds is exactly the seed-only prefix of chain_hash's state.
+        seeds = random_seeds(100, np.random.default_rng(3))
+        np.testing.assert_array_equal(mix_seeds(seeds), splitmix64(seeds))
 
 
 class TestRandomSeeds:
