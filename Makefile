@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test bench-kernels bench-figures
+.PHONY: test bench-kernels bench-pipeline bench-figures
 
 # Tier-1: the gate every PR must keep green.
 test:
@@ -16,6 +16,14 @@ bench-kernels:
 	$(PY) -m pytest benchmarks/test_micro_primitives.py -m benchmarks -q \
 	    --benchmark-json=.bench_raw.json
 	$(PY) benchmarks/record.py .bench_raw.json BENCH_kernels.json
+	@rm -f .bench_raw.json
+
+# Collection-pipeline throughput at n=10^6: serial reference vs the
+# sharded executor. Writes BENCH_pipeline.json for PR-over-PR diffing.
+bench-pipeline:
+	$(PY) -m pytest benchmarks/test_pipeline_parallel.py -m benchmarks -q \
+	    --benchmark-json=.bench_raw.json
+	$(PY) benchmarks/record.py .bench_raw.json BENCH_pipeline.json
 	@rm -f .bench_raw.json
 
 # The full figure-regeneration benchmark suite (slow).

@@ -1,6 +1,8 @@
 """FELIP core: planning, collection, aggregation, query answering."""
 
 from repro.core.config import FelipConfig
+from repro.core.merge import merge_reports
+from repro.core.parallel import StageTimings
 from repro.core.planner import PlannedGrid, plan_grids
 from repro.core.partition import partition_users
 from repro.core.server import Aggregator
@@ -9,6 +11,8 @@ from repro.core.streaming import StreamingCollector
 
 __all__ = [
     "FelipConfig",
+    "merge_reports",
+    "StageTimings",
     "PlannedGrid",
     "plan_grids",
     "partition_users",

@@ -5,15 +5,37 @@ group's grid (the cell index containing their values) and perturbs the cell
 index with the grid's frequency oracle, spending the full budget ε. The
 batch simulation below is distributionally identical to ``n`` independent
 clients: every row uses independent randomness.
+
+Two execution strategies produce the reports:
+
+* :func:`collect_reports_serial` — the straight-line reference
+  implementation: one pass per group over the full record matrix, one
+  perturb call per group. It is the executable specification the sharded
+  executor is tested against.
+* :func:`collect_reports` — the sharded executor: a single radix-argsort
+  grouping pass replaces the ``m`` boolean-mask scans, each (group, chunk)
+  shard gathers only the columns its grid encodes, and shards run on a
+  thread pool (``workers``) before reducing through
+  :func:`repro.core.merge.merge_reports`.
+
+Determinism contract: with ``chunk_size=None`` the sharded executor spawns
+one child generator per group and consumes it exactly like the serial
+reference, so its reports are **bit-identical** to
+:func:`collect_reports_serial` for any ``workers``. With a finite
+``chunk_size`` each group's generator is further split one-per-chunk, so
+outputs are a pure function of ``(seed, chunk_size)`` — still invariant to
+``workers``, but a different (equally valid) random stream.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.merge import merge_reports
+from repro.core.parallel import chunk_bounds, group_orders, run_sharded
 from repro.core.planner import PlannedGrid
 from repro.errors import ProtocolError
 from repro.fo.adaptive import make_oracle
@@ -33,10 +55,59 @@ class GroupReport:
     group_size: int
 
 
+def _check_assignment(records: np.ndarray, assignment: np.ndarray,
+                      planned_grids: Sequence[PlannedGrid]) -> None:
+    if len(assignment) != len(records):
+        raise ProtocolError(
+            f"{len(assignment)} assignments for {len(records)} records")
+    if assignment.size and (assignment.min() < 0
+                            or assignment.max() >= len(planned_grids)):
+        raise ProtocolError(
+            f"assignment labels [{assignment.min()}, {assignment.max()}] "
+            f"outside [0, {len(planned_grids)}) planned groups")
+
+
+def collect_reports_serial(records: np.ndarray, assignment: np.ndarray,
+                           planned_grids: Sequence[PlannedGrid],
+                           epsilon: float,
+                           rng: RngLike = None) -> List[GroupReport]:
+    """Reference implementation: strictly serial, one pass per group.
+
+    Kept as the executable specification of the collection semantics; the
+    sharded executor (:func:`collect_reports` with ``chunk_size=None``) is
+    bit-identical to it under a fixed seed.
+    """
+    _check_assignment(records, assignment, planned_grids)
+    group_rngs = spawn(ensure_rng(rng), len(planned_grids))
+    reports: List[GroupReport] = []
+    for g, planned in enumerate(planned_grids):
+        rows = records[assignment == g]
+        if len(rows) == 0 or planned.num_cells < 2:
+            reports.append(GroupReport(planned=planned, report=None,
+                                       group_size=len(rows)))
+            continue
+        if planned.protocol == "ahead":
+            reports.append(GroupReport(
+                planned=planned,
+                report=_fit_ahead(planned,
+                                  rows[:, planned.grid.attr_index],
+                                  epsilon, group_rngs[g]),
+                group_size=len(rows)))
+            continue
+        values = planned.grid.encode(rows)
+        oracle = make_oracle(planned.protocol, epsilon, planned.num_cells)
+        reports.append(GroupReport(
+            planned=planned,
+            report=oracle.perturb(values, group_rngs[g]),
+            group_size=len(rows)))
+    return reports
+
+
 def collect_reports(records: np.ndarray, assignment: np.ndarray,
                     planned_grids: Sequence[PlannedGrid], epsilon: float,
-                    rng: RngLike = None) -> List[GroupReport]:
-    """Run the client-side protocol for every group.
+                    rng: RngLike = None, *, workers: int = 1,
+                    chunk_size: int = None) -> List[GroupReport]:
+    """Run the client-side protocol for every group (sharded executor).
 
     Parameters
     ----------
@@ -49,41 +120,73 @@ def collect_reports(records: np.ndarray, assignment: np.ndarray,
     epsilon:
         Privacy budget each user spends on their single report.
     rng:
-        Seed or generator; children are spawned per group so reports are
-        independent across groups.
+        Seed or generator; children are spawned per group (and per chunk
+        when ``chunk_size`` splits a group) so reports are independent
+        across shards.
+    workers:
+        Thread-pool width for shard execution (0 = one per CPU). Never
+        affects the output — see the module determinism contract.
+    chunk_size:
+        Rows per shard within a group; ``None`` keeps whole groups (the
+        geometry bit-identical to :func:`collect_reports_serial`).
     """
-    if len(assignment) != len(records):
-        raise ProtocolError(
-            f"{len(assignment)} assignments for {len(records)} records")
-    if assignment.size and assignment.max() >= len(planned_grids):
-        raise ProtocolError(
-            f"assignment references group {assignment.max()} but only "
-            f"{len(planned_grids)} grids are planned")
-
+    _check_assignment(records, assignment, planned_grids)
     group_rngs = spawn(ensure_rng(rng), len(planned_grids))
-    reports: List[GroupReport] = []
+    order, offsets = group_orders(assignment, len(planned_grids))
+
+    tasks: List[Callable[[], Any]] = []
+    task_group: List[int] = []
+    group_sizes: List[int] = []
     for g, planned in enumerate(planned_grids):
-        rows = records[assignment == g]
-        if len(rows) == 0 or planned.num_cells < 2:
-            reports.append(GroupReport(planned=planned, report=None,
-                                       group_size=len(rows)))
+        indices = order[offsets[g]:offsets[g + 1]]
+        group_sizes.append(len(indices))
+        if len(indices) == 0 or planned.num_cells < 2:
             continue
         if planned.protocol == "ahead":
-            reports.append(GroupReport(
-                planned=planned,
-                report=_fit_ahead(planned, rows, epsilon, group_rngs[g]),
-                group_size=len(rows)))
+            # AHEAD consumes its whole group interactively; one shard.
+            column = records[:, planned.grid.attr_index][indices]
+            tasks.append(_ahead_task(planned, column, epsilon,
+                                     group_rngs[g]))
+            task_group.append(g)
             continue
-        values = planned.grid.encode(rows)
+        columns = [records[:, t][indices]
+                   for t in planned.grid.column_indices]
+        bounds = chunk_bounds(len(indices), chunk_size)
+        shard_rngs = ([group_rngs[g]] if len(bounds) == 1
+                      else spawn(group_rngs[g], len(bounds)))
         oracle = make_oracle(planned.protocol, epsilon, planned.num_cells)
-        reports.append(GroupReport(
-            planned=planned,
-            report=oracle.perturb(values, group_rngs[g]),
-            group_size=len(rows)))
-    return reports
+        for (start, stop), shard_rng in zip(bounds, shard_rngs):
+            tasks.append(_shard_task(planned, oracle,
+                                     [c[start:stop] for c in columns],
+                                     shard_rng))
+            task_group.append(g)
+
+    results = run_sharded(tasks, workers)
+    shards_of = {g: [] for g in range(len(planned_grids))}
+    for g, result in zip(task_group, results):
+        shards_of[g].append(result)
+    return [GroupReport(planned=planned,
+                        report=merge_reports(shards_of[g]),
+                        group_size=group_sizes[g])
+            for g, planned in enumerate(planned_grids)]
 
 
-def _fit_ahead(planned: PlannedGrid, rows: np.ndarray, epsilon: float,
+def _shard_task(planned: PlannedGrid, oracle, columns: List[np.ndarray],
+                rng) -> Callable[[], Any]:
+    """Encode-and-perturb closure for one (group, chunk) shard."""
+    def run():
+        return oracle.perturb(planned.grid.encode_columns(*columns), rng)
+    return run
+
+
+def _ahead_task(planned: PlannedGrid, column: np.ndarray, epsilon: float,
+                rng) -> Callable[[], Any]:
+    def run():
+        return _fit_ahead(planned, column, epsilon, rng)
+    return run
+
+
+def _fit_ahead(planned: PlannedGrid, column: np.ndarray, epsilon: float,
                rng) -> Any:
     """Run the AHEAD adaptive decomposition on one group's column.
 
@@ -91,7 +194,6 @@ def _fit_ahead(planned: PlannedGrid, rows: np.ndarray, epsilon: float,
     internally; each still submits exactly one ε-LDP report.
     """
     from repro.baselines.ahead import Ahead1D  # local: avoids an import cycle
-    column = rows[:, planned.grid.attr_index]
     model = Ahead1D(planned.grid.attribute.domain_size, epsilon)
     return model.fit(column, rng)
 
@@ -99,28 +201,51 @@ def _fit_ahead(planned: PlannedGrid, rows: np.ndarray, epsilon: float,
 def collect_reports_budget_split(records: np.ndarray,
                                  planned_grids: Sequence[PlannedGrid],
                                  epsilon: float,
-                                 rng: RngLike = None) -> List[GroupReport]:
+                                 rng: RngLike = None, *, workers: int = 1,
+                                 chunk_size: int = None
+                                 ) -> List[GroupReport]:
     """The Theorem 5.1 strawman: every user reports every grid with ε/m.
 
     Sequential composition makes the total privacy loss ε, identical to
     :func:`collect_reports`; the paper proves (and the ablation benchmark
-    shows) this variant always has higher variance.
+    shows) this variant always has higher variance. Shares the sharded
+    executor and its determinism contract (shards here are (grid, chunk)
+    slices of the whole population).
     """
     if not planned_grids:
         raise ProtocolError("no grids planned")
+    unsplittable = [p.key for p in planned_grids if p.protocol == "ahead"]
+    if unsplittable:
+        raise ProtocolError(
+            f"grids {unsplittable} use the AHEAD protocol, which cannot "
+            f"run under budget splitting (its adaptive refinement needs "
+            f"each group's full per-user budget); use "
+            f"partition_mode='users' or one_d_protocol in (None, 'sw')")
     epsilon_each = epsilon / len(planned_grids)
     grid_rngs = spawn(ensure_rng(rng), len(planned_grids))
-    reports: List[GroupReport] = []
+
+    tasks: List[Callable[[], Any]] = []
+    task_group: List[int] = []
     for g, planned in enumerate(planned_grids):
         if len(records) == 0 or planned.num_cells < 2:
-            reports.append(GroupReport(planned=planned, report=None,
-                                       group_size=len(records)))
             continue
-        values = planned.grid.encode(records)
+        columns = [records[:, t] for t in planned.grid.column_indices]
+        bounds = chunk_bounds(len(records), chunk_size)
+        shard_rngs = ([grid_rngs[g]] if len(bounds) == 1
+                      else spawn(grid_rngs[g], len(bounds)))
         oracle = make_oracle(planned.protocol, epsilon_each,
                              planned.num_cells)
-        reports.append(GroupReport(
-            planned=planned,
-            report=oracle.perturb(values, grid_rngs[g]),
-            group_size=len(records)))
-    return reports
+        for (start, stop), shard_rng in zip(bounds, shard_rngs):
+            tasks.append(_shard_task(planned, oracle,
+                                     [c[start:stop] for c in columns],
+                                     shard_rng))
+            task_group.append(g)
+
+    results = run_sharded(tasks, workers)
+    shards_of = {g: [] for g in range(len(planned_grids))}
+    for g, result in zip(task_group, results):
+        shards_of[g].append(result)
+    return [GroupReport(planned=planned,
+                        report=merge_reports(shards_of[g]),
+                        group_size=len(records))
+            for g, planned in enumerate(planned_grids)]

@@ -18,12 +18,12 @@ HDG         ``"ohg"``   olh only      True (+pow2)         fixed 0.5
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.errors import ConfigurationError
 
 _STRATEGIES = ("oug", "ohg")
-_KNOWN_PROTOCOLS = ("grr", "olh", "oue")
+_KNOWN_PROTOCOLS = ("grr", "olh", "oue", "sue", "she", "the")
 _PARTITION_MODES = ("users", "budget")
 
 
@@ -71,7 +71,19 @@ class FelipConfig:
         [25]). ``"ahead"`` uses the AHEAD-style *data-adaptive* binning
         (extension implementing the paper's "avoid cells with low true
         counts" future-work note). ``None`` (default) keeps the paper's
-        grid design.
+        grid design. Incompatible with ``partition_mode="budget"``: AHEAD
+        needs each group's full per-user budget for its interactive
+        refinement rounds and cannot be budget-split.
+    workers:
+        Thread-pool width of the sharded collection/estimation executor
+        (``1`` = serial, ``0`` = one worker per CPU). Parallelism never
+        changes outputs: shards draw from deterministically spawned
+        generators and are reduced in a fixed order, so results are a
+        pure function of ``(seed, chunk_size)``.
+    chunk_size:
+        Rows per client-side shard within a group (``None`` = whole
+        groups). ``None`` additionally makes the sharded executor
+        bit-identical to the serial reference path under a fixed seed.
     """
 
     epsilon: float = 1.0
@@ -88,6 +100,8 @@ class FelipConfig:
     power_of_two_granularity: bool = False
     partition_mode: str = "users"
     one_d_protocol: str = None
+    workers: int = 1
+    chunk_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.partition_mode not in _PARTITION_MODES:
@@ -98,6 +112,21 @@ class FelipConfig:
             raise ConfigurationError(
                 f"one_d_protocol must be None, 'sw' or 'ahead', "
                 f"got {self.one_d_protocol!r}")
+        if self.partition_mode == "budget" and self.one_d_protocol == \
+                "ahead":
+            raise ConfigurationError(
+                "partition_mode='budget' cannot be combined with "
+                "one_d_protocol='ahead': AHEAD's adaptive refinement "
+                "needs each group's full per-user budget and cannot "
+                "report every grid with epsilon/m; use "
+                "partition_mode='users', or one_d_protocol=None or 'sw'")
+        if self.workers < 0:
+            raise ConfigurationError(
+                f"workers must be >= 0 (0 = one per CPU), got "
+                f"{self.workers}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be None or >= 1, got {self.chunk_size}")
         if self.epsilon <= 0:
             raise ConfigurationError(
                 f"epsilon must be positive, got {self.epsilon}")

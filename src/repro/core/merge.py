@@ -1,0 +1,138 @@
+"""Report merging shared by the batch, budget-split, and streaming paths.
+
+Every frequency-oracle report type is an associative monoid under
+concatenation of the underlying user batches: merging the reports of two
+disjoint user sets yields exactly the report the oracle would have produced
+for the union (GRR/OLH store per-user values, so merge is concatenation;
+OUE/SUE/SHE/THE/SW store sufficient statistics, so merge is addition).
+That associativity is what lets the sharded collection executor perturb
+``(group, chunk)`` shards independently and reduce them in any grouping,
+and what lets :class:`~repro.core.streaming.StreamingCollector` accumulate
+batches over time — all three paths reduce through :func:`merge_reports`.
+
+AHEAD is the one collection backend with no mergeable report: its adaptive
+tree refinement consumes the whole group interactively, so configurations
+that need mergeability (streaming, chunked sharding) must reject it up
+front via :func:`mergeable_protocol`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ProtocolError
+from repro.fo.grr import GRRReport
+from repro.fo.he import SHEReport, THEReport
+from repro.fo.olh import OLHReport
+from repro.fo.oue import OUEReport
+from repro.fo.square_wave import SWReport
+
+#: protocol names whose reports :func:`merge_reports` can combine.
+#: ``adaptive`` resolves to grr/olh at planning time, so planned grids
+#: only ever carry the concrete names below (plus the unmergeable
+#: ``ahead``).
+MERGEABLE_PROTOCOLS = frozenset(
+    {"grr", "olh", "oue", "sue", "she", "the", "sw", "adaptive"})
+
+
+def mergeable_protocol(protocol: str) -> bool:
+    """True when ``protocol`` produces reports that can be merged."""
+    return protocol in MERGEABLE_PROTOCOLS
+
+
+def _merge_grr(reports: Sequence[GRRReport]) -> GRRReport:
+    first = reports[0]
+    if any(r.domain_size != first.domain_size for r in reports):
+        raise ProtocolError("cannot merge GRR reports across domains")
+    return GRRReport(
+        values=np.concatenate([r.values for r in reports]),
+        domain_size=first.domain_size)
+
+
+def _merge_olh(reports: Sequence[OLHReport]) -> OLHReport:
+    first = reports[0]
+    if any(r.hash_range != first.hash_range
+           or r.domain_size != first.domain_size for r in reports):
+        raise ProtocolError("cannot merge OLH reports across configs")
+    return OLHReport(
+        seeds=np.concatenate([r.seeds for r in reports]),
+        buckets=np.concatenate([r.buckets for r in reports]),
+        hash_range=first.hash_range, domain_size=first.domain_size)
+
+
+def _merge_oue(reports: Sequence[OUEReport]) -> OUEReport:
+    first = reports[0]
+    if any(len(r.ones) != len(first.ones) for r in reports):
+        raise ProtocolError("cannot merge OUE reports across domains")
+    return OUEReport(ones=sum(r.ones for r in reports),
+                     n=sum(r.n for r in reports))
+
+
+def _merge_she(reports: Sequence[SHEReport]) -> SHEReport:
+    first = reports[0]
+    if any(len(r.sums) != len(first.sums) for r in reports):
+        raise ProtocolError("cannot merge SHE reports across domains")
+    return SHEReport(sums=sum(r.sums for r in reports),
+                     n=sum(r.n for r in reports))
+
+
+def _merge_the(reports: Sequence[THEReport]) -> THEReport:
+    first = reports[0]
+    if any(len(r.supports) != len(first.supports)
+           or abs(r.threshold - first.threshold) > 1e-12
+           for r in reports):
+        raise ProtocolError("cannot merge THE reports across configs")
+    return THEReport(supports=sum(r.supports for r in reports),
+                     n=sum(r.n for r in reports),
+                     threshold=first.threshold)
+
+
+def _merge_sw(reports: Sequence[SWReport]) -> SWReport:
+    first = reports[0]
+    if any(len(r.counts) != len(first.counts)
+           or abs(r.wave_width - first.wave_width) > 1e-12
+           for r in reports):
+        raise ProtocolError("cannot merge SW reports across configs")
+    return SWReport(counts=sum(r.counts for r in reports),
+                    n=sum(r.n for r in reports),
+                    wave_width=first.wave_width)
+
+
+_MERGERS = {
+    GRRReport: _merge_grr,
+    OLHReport: _merge_olh,
+    OUEReport: _merge_oue,  # SUE perturbs into OUEReport as well
+    SHEReport: _merge_she,
+    THEReport: _merge_the,
+    SWReport: _merge_sw,
+}
+
+
+def merge_reports(reports: List[object]) -> Optional[object]:
+    """Combine report batches of the same protocol and parameters.
+
+    The merge is associative and order-insensitive up to report-internal
+    ordering (GRR/OLH concatenate per-user arrays in the order given;
+    every estimator downstream is permutation-invariant). Returns ``None``
+    for an empty list, so accumulators need no empty-group special case.
+    """
+    reports = [r for r in reports if r is not None]
+    if not reports:
+        return None
+    first = reports[0]
+    if len(reports) == 1:
+        # Identity merge — valid for any report, including single-shard
+        # unmergeable backends (a fitted AHEAD model).
+        return first
+    merger = _MERGERS.get(type(first))
+    if merger is None:
+        raise ProtocolError(
+            f"unsupported report type {type(first).__name__}; mergeable "
+            f"types: {sorted(c.__name__ for c in _MERGERS)}")
+    if any(type(r) is not type(first) for r in reports):
+        raise ProtocolError(
+            f"cannot merge mixed report types "
+            f"{sorted({type(r).__name__ for r in reports})}")
+    return merger(reports)

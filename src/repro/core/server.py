@@ -20,6 +20,7 @@ from repro.core.client import (
     collect_reports_budget_split,
 )
 from repro.core.config import FelipConfig
+from repro.core.parallel import StageTimings, run_sharded
 from repro.core.partition import partition_users
 from repro.core.planner import PlannedGrid, plan_grids
 from repro.data.dataset import Dataset
@@ -52,6 +53,9 @@ class Aggregator:
         self._matrices: Dict[Tuple[int, int], np.ndarray] = {}
         self._priors: Dict[Tuple[int, int], np.ndarray] = {}
         self._report_epsilon: float = config.epsilon
+        #: cumulative wall-clock seconds per pipeline stage
+        #: (plan / collect / estimate / postprocess)
+        self.timings = StageTimings()
 
     # -- collection -----------------------------------------------------------
 
@@ -61,18 +65,27 @@ class Aggregator:
             raise QueryError("dataset schema does not match aggregator's")
         rng = ensure_rng(rng)
         self.n = dataset.n
-        self.plans = plan_grids(self.schema, self.config, dataset.n)
-        if self.config.partition_mode == "budget":
-            # Theorem 5.1 strawman: everyone reports every grid with eps/m.
-            self._report_epsilon = (self.config.epsilon
-                                    / max(len(self.plans), 1))
-            reports = collect_reports_budget_split(
-                dataset.records, self.plans, self.config.epsilon, rng)
-        else:
-            self._report_epsilon = self.config.epsilon
-            assignment = partition_users(dataset.n, len(self.plans), rng)
-            reports = collect_reports(dataset.records, assignment,
-                                      self.plans, self.config.epsilon, rng)
+        with self.timings.time("plan"):
+            self.plans = plan_grids(self.schema, self.config, dataset.n)
+        with self.timings.time("collect"):
+            if self.config.partition_mode == "budget":
+                # Theorem 5.1 strawman: everyone reports every grid with
+                # eps/m.
+                self._report_epsilon = (self.config.epsilon
+                                        / max(len(self.plans), 1))
+                reports = collect_reports_budget_split(
+                    dataset.records, self.plans, self.config.epsilon, rng,
+                    workers=self.config.workers,
+                    chunk_size=self.config.chunk_size)
+            else:
+                self._report_epsilon = self.config.epsilon
+                assignment = partition_users(dataset.n, len(self.plans),
+                                             rng)
+                reports = collect_reports(
+                    dataset.records, assignment, self.plans,
+                    self.config.epsilon, rng,
+                    workers=self.config.workers,
+                    chunk_size=self.config.chunk_size)
         self._finalize(reports)
         return self
 
@@ -84,14 +97,29 @@ class Aggregator:
         """
         self._estimates = {}
         self._matrices = {}
-        for group in reports:
-            self._estimates[group.planned.key] = self._estimate_group(group)
-        postprocess_grids(
-            list(self._estimates.values()),
-            self._cell_variances(),
-            num_attributes=len(self.schema),
-            rounds=self.config.postprocess_rounds)
+        with self.timings.time("estimate"):
+            tasks = [self._estimate_task(group) for group in reports]
+            estimates = run_sharded(tasks, self.config.workers)
+            for group, estimate in zip(reports, estimates):
+                self._estimates[group.planned.key] = estimate
+        with self.timings.time("postprocess"):
+            postprocess_grids(
+                list(self._estimates.values()),
+                self._cell_variances(),
+                num_attributes=len(self.schema),
+                rounds=self.config.postprocess_rounds)
         return self
+
+    def _estimate_task(self, group: GroupReport):
+        """Per-grid estimation closure for the sharded executor.
+
+        Estimation is deterministic (no randomness), so running the grids
+        on a pool is trivially order-safe; ``run_sharded`` returns results
+        in task order regardless of completion order.
+        """
+        def run():
+            return self._estimate_group(group)
+        return run
 
     def _cell_variances(self) -> Dict[Tuple[int, ...], float]:
         """Actual per-cell estimation variance per grid (for weighting)."""

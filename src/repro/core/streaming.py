@@ -7,63 +7,32 @@ assigned a group and reports immediately with the full budget ε, and the
 aggregator can be finalized at any point — estimates simply sharpen as
 more users arrive. Each user still reports exactly once, so the privacy
 guarantee is unchanged.
+
+Cross-batch accumulation rides on :func:`repro.core.merge.merge_reports`
+(shared with the sharded batch executor), so any protocol whose reports
+merge — all of grr/olh/oue/sue/she/the/sw — streams; configurations that
+cannot (AHEAD's interactive refinement) are rejected at construction, not
+at :meth:`StreamingCollector.finalize`.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from repro.core.client import GroupReport
 from repro.core.config import FelipConfig
+from repro.core.merge import merge_reports, mergeable_protocol
+from repro.core.parallel import run_sharded
 from repro.core.planner import PlannedGrid, plan_grids
 from repro.core.server import Aggregator
 from repro.errors import ConfigurationError, ProtocolError
 from repro.fo.adaptive import make_oracle
-from repro.fo.grr import GRRReport
-from repro.fo.olh import OLHReport
-from repro.fo.oue import OUEReport
-from repro.fo.square_wave import SWReport
-from repro.rng import RngLike, ensure_rng
+from repro.rng import RngLike, ensure_rng, spawn
 from repro.schema import Schema
 
-
-def merge_reports(reports: List[object]):
-    """Concatenate report batches of the same protocol and parameters."""
-    if not reports:
-        return None
-    first = reports[0]
-    if isinstance(first, GRRReport):
-        if any(r.domain_size != first.domain_size for r in reports):
-            raise ProtocolError("cannot merge GRR reports across domains")
-        return GRRReport(
-            values=np.concatenate([r.values for r in reports]),
-            domain_size=first.domain_size)
-    if isinstance(first, OLHReport):
-        if any(r.hash_range != first.hash_range
-               or r.domain_size != first.domain_size for r in reports):
-            raise ProtocolError("cannot merge OLH reports across configs")
-        return OLHReport(
-            seeds=np.concatenate([r.seeds for r in reports]),
-            buckets=np.concatenate([r.buckets for r in reports]),
-            hash_range=first.hash_range, domain_size=first.domain_size)
-    if isinstance(first, OUEReport):
-        if any(len(r.ones) != len(first.ones) for r in reports):
-            raise ProtocolError("cannot merge OUE reports across domains")
-        return OUEReport(ones=sum(r.ones for r in reports),
-                         n=sum(r.n for r in reports))
-    if isinstance(first, SWReport):
-        if any(len(r.counts) != len(first.counts)
-               or abs(r.wave_width - first.wave_width) > 1e-12
-               for r in reports):
-            raise ProtocolError("cannot merge SW reports across configs")
-        return SWReport(counts=sum(r.counts for r in reports),
-                        n=sum(r.n for r in reports),
-                        wave_width=first.wave_width)
-    raise ProtocolError(
-        f"unsupported report type {type(first).__name__}")
+__all__ = ["StreamingCollector", "merge_reports"]
 
 
 class StreamingCollector:
@@ -72,7 +41,11 @@ class StreamingCollector:
     Parameters
     ----------
     schema, config:
-        As for :class:`~repro.core.Aggregator`.
+        As for :class:`~repro.core.Aggregator`. ``config.workers`` widens
+        the per-batch perturbation across groups (``workers <= 1`` keeps
+        the exact single-stream randomness of the serial path; any larger
+        value switches to per-group spawned streams, whose outputs are
+        invariant to the precise worker count).
     expected_users:
         The planner's prior on the eventual population size — grid sizes
         are fixed up front (users must know their grid before reporting),
@@ -103,7 +76,21 @@ class StreamingCollector:
         self.config = config
         self.plans: List[PlannedGrid] = plan_grids(schema, config,
                                                    expected_users)
+        unmergeable = [p.key for p in self.plans
+                       if not mergeable_protocol(p.protocol)]
+        if unmergeable:
+            raise ConfigurationError(
+                f"grids {unmergeable} plan protocols whose reports cannot "
+                f"be merged across batches; streaming requires mergeable "
+                f"report types")
         self._rng = ensure_rng(rng)
+        # One oracle per plan, built once: oracles are immutable
+        # (epsilon, domain) machines, so rebuilding them per batch was
+        # pure overhead — for THE it even re-ran the numerical
+        # threshold optimization on every observe() call.
+        self._oracles = {
+            p.key: make_oracle(p.protocol, config.epsilon, p.num_cells)
+            for p in self.plans if p.num_cells >= 2}
         self._batches: Dict[Tuple[int, ...], List[object]] = {
             p.key: [] for p in self.plans}
         self._group_sizes = np.zeros(len(self.plans), dtype=np.int64)
@@ -122,16 +109,45 @@ class StreamingCollector:
                 f"{len(self.schema)} attributes")
         rng = self._rng if rng is None else ensure_rng(rng)
         assignment = rng.integers(0, len(self.plans), size=len(records))
+        if self.config.workers > 1 or self.config.workers == 0:
+            self._observe_sharded(records, assignment, rng)
+        else:
+            self._observe_serial(records, assignment, rng)
+        self.observed += len(records)
+
+    def _observe_serial(self, records: np.ndarray, assignment: np.ndarray,
+                        rng) -> None:
+        """Legacy single-stream path: all perturbs draw from one rng."""
         for g, plan in enumerate(self.plans):
             rows = records[assignment == g]
             self._group_sizes[g] += len(rows)
             if len(rows) == 0 or plan.num_cells < 2:
                 continue
-            oracle = make_oracle(plan.protocol, self.config.epsilon,
-                                 plan.num_cells)
             values = plan.grid.encode(rows)
-            self._batches[plan.key].append(oracle.perturb(values, rng))
-        self.observed += len(records)
+            self._batches[plan.key].append(
+                self._oracles[plan.key].perturb(values, rng))
+
+    def _observe_sharded(self, records: np.ndarray,
+                         assignment: np.ndarray, rng) -> None:
+        """Parallel path: per-group spawned streams, reduced in order."""
+        group_rngs = spawn(rng, len(self.plans))
+        tasks, task_group = [], []
+        for g, plan in enumerate(self.plans):
+            rows = records[assignment == g]
+            self._group_sizes[g] += len(rows)
+            if len(rows) == 0 or plan.num_cells < 2:
+                continue
+            tasks.append(self._perturb_task(plan, rows, group_rngs[g]))
+            task_group.append(g)
+        for g, report in zip(task_group,
+                             run_sharded(tasks, self.config.workers)):
+            self._batches[self.plans[g].key].append(report)
+
+    def _perturb_task(self, plan: PlannedGrid, rows: np.ndarray, rng):
+        def run():
+            return self._oracles[plan.key].perturb(plan.grid.encode(rows),
+                                                   rng)
+        return run
 
     def finalize(self) -> Aggregator:
         """Build a queryable aggregator from everything observed so far.

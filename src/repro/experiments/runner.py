@@ -23,36 +23,42 @@ from repro.queries.query import Query, true_answers
 from repro.rng import RngLike, ensure_rng
 from repro.schema import Schema
 
-def _felip_kwargs(selectivity):
-    return {} if selectivity is None else {
-        "expected_selectivity": selectivity}
+def _felip_kwargs(selectivity, executor):
+    kwargs = dict(executor)
+    if selectivity is not None:
+        kwargs["expected_selectivity"] = selectivity
+    return kwargs
 
 
 _BUILDERS: Dict[str, Callable] = {
-    "oug": lambda schema, eps, sel: Felip.oug(
-        schema, epsilon=eps, **_felip_kwargs(sel)),
-    "ohg": lambda schema, eps, sel: Felip.ohg(
-        schema, epsilon=eps, **_felip_kwargs(sel)),
-    "oug-olh": lambda schema, eps, sel: Felip.oug_olh(
-        schema, epsilon=eps, **_felip_kwargs(sel)),
-    "ohg-olh": lambda schema, eps, sel: Felip.ohg_olh(
-        schema, epsilon=eps, **_felip_kwargs(sel)),
-    # HIO has no selectivity prior; TDG/HDG hard-code 0.5 by design.
-    "hio": lambda schema, eps, sel: HIO(schema, epsilon=eps),
-    "tdg": lambda schema, eps, sel: TDG(schema, epsilon=eps),
-    "hdg": lambda schema, eps, sel: HDG(schema, epsilon=eps),
+    "oug": lambda schema, eps, sel, ex: Felip.oug(
+        schema, epsilon=eps, **_felip_kwargs(sel, ex)),
+    "ohg": lambda schema, eps, sel, ex: Felip.ohg(
+        schema, epsilon=eps, **_felip_kwargs(sel, ex)),
+    "oug-olh": lambda schema, eps, sel, ex: Felip.oug_olh(
+        schema, epsilon=eps, **_felip_kwargs(sel, ex)),
+    "ohg-olh": lambda schema, eps, sel, ex: Felip.ohg_olh(
+        schema, epsilon=eps, **_felip_kwargs(sel, ex)),
+    # HIO has no selectivity prior; TDG/HDG hard-code 0.5 by design. The
+    # baselines also predate the sharded executor, so workers/chunk_size
+    # do not apply to them.
+    "hio": lambda schema, eps, sel, ex: HIO(schema, epsilon=eps),
+    "tdg": lambda schema, eps, sel, ex: TDG(schema, epsilon=eps),
+    "hdg": lambda schema, eps, sel, ex: HDG(schema, epsilon=eps),
 }
 
 STRATEGY_NAMES = tuple(sorted(_BUILDERS))
 
 
 def make_strategy(name: str, schema: Schema, epsilon: float,
-                  selectivity: float = None):
+                  selectivity: float = None, workers: int = 1,
+                  chunk_size: int = None):
     """Instantiate a strategy by its registry name.
 
     ``selectivity`` is the aggregator's prior handed to the FELIP variants
-    (the paper's "incorporate knowledge of query selectivity"); baselines
-    that cannot use it ignore it.
+    (the paper's "incorporate knowledge of query selectivity");
+    ``workers``/``chunk_size`` configure their sharded collection executor.
+    Baselines that cannot use these knobs ignore them.
     """
     try:
         builder = _BUILDERS[name]
@@ -60,7 +66,8 @@ def make_strategy(name: str, schema: Schema, epsilon: float,
         raise ConfigurationError(
             f"unknown strategy {name!r}; expected one of {STRATEGY_NAMES}"
         ) from None
-    return builder(schema, epsilon, selectivity)
+    executor = {"workers": workers, "chunk_size": chunk_size}
+    return builder(schema, epsilon, selectivity, executor)
 
 
 @dataclass(frozen=True)
@@ -79,11 +86,15 @@ class RunResult:
 def evaluate_strategy(name: str, dataset: Dataset,
                       queries: Sequence[Query], epsilon: float,
                       rng: RngLike = None, repeats: int = 1,
-                      selectivity: float = None) -> RunResult:
+                      selectivity: float = None, workers: int = 1,
+                      chunk_size: int = None) -> RunResult:
     """Fit and evaluate one strategy; MAE is averaged over ``repeats``.
 
     Repeats redraw the collection randomness (not the dataset or the
     workload), matching how the paper averages out protocol noise.
+    ``workers``/``chunk_size`` are forwarded to the FELIP variants'
+    sharded executor; they speed up collection without changing its
+    output distribution.
     """
     if repeats < 1:
         raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
@@ -93,7 +104,8 @@ def evaluate_strategy(name: str, dataset: Dataset,
     last_estimates = truths
     fit_seconds = answer_seconds = 0.0
     for _ in range(repeats):
-        model = make_strategy(name, dataset.schema, epsilon, selectivity)
+        model = make_strategy(name, dataset.schema, epsilon, selectivity,
+                              workers=workers, chunk_size=chunk_size)
         start = time.perf_counter()
         model.fit(dataset, rng)
         fit_seconds += time.perf_counter() - start

@@ -84,17 +84,24 @@ class SizingParams:
 
         OUE shares OLH's variance, so the two are one class here.
         """
-        if protocol in ("olh", "oue", "sw", "ahead"):
-            # sw/ahead: no closed form; OLH's variance is the proxy.
+        if protocol in _OLH_CLASS:
+            # sw/ahead/sue/she/the: no closed form that grows with L;
+            # OLH's size-independent variance is the planning proxy.
             return self.cell_variance_olh
         if protocol == "grr":
             return self.cell_variance_grr(num_cells)
         raise ConfigurationError(f"unknown protocol {protocol!r}")
 
 
+#: Protocols whose per-cell variance does not grow with the cell count:
+#: the unary/histogram encodings (oue/sue/she/the), square wave, and the
+#: adaptive AHEAD refinement all size like OLH for planning purposes.
+_OLH_CLASS = ("olh", "oue", "sue", "she", "the", "sw", "ahead")
+
+
 def variance_class(protocol: str) -> str:
     """Map a protocol to its variance class (``oue`` behaves like ``olh``)."""
-    if protocol in ("olh", "oue", "sw", "ahead"):
+    if protocol in _OLH_CLASS:
         return "olh"
     if protocol == "grr":
         return "grr"

@@ -1,0 +1,132 @@
+"""Tests for the shared report-merge monoid (repro.core.merge).
+
+Merging the reports of disjoint user batches must equal the report the
+oracle would have produced for the concatenated batch — that associativity
+is what the sharded executor and the streaming collector both rest on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.merge import (
+    MERGEABLE_PROTOCOLS,
+    merge_reports,
+    mergeable_protocol,
+)
+from repro.errors import ProtocolError
+from repro.fo import make_oracle
+from repro.rng import ensure_rng
+
+ALL_PROTOCOLS = ("grr", "olh", "oue", "sue", "she", "the", "sw")
+DOMAIN = 12
+
+
+def perturb_batches(protocol, sizes, epsilon=1.0, seed=7):
+    """One oracle, one values-vector per batch, one report per batch."""
+    oracle = make_oracle(protocol, epsilon, DOMAIN)
+    rng = ensure_rng(seed)
+    batches = [rng.integers(0, DOMAIN, size=size) for size in sizes]
+    reports = [oracle.perturb(values, rng) for values in batches]
+    return oracle, batches, reports
+
+
+def assert_report_equal(actual, expected):
+    """Field-wise equality: exact for integers, tight for float sums.
+
+    SHE accumulates float Laplace noise, and float addition is only
+    associative up to rounding — every other field must match exactly.
+    """
+    assert type(actual) is type(expected)
+    for name in vars(expected):
+        a, e = getattr(actual, name), getattr(expected, name)
+        if isinstance(e, np.ndarray) and np.issubdtype(e.dtype,
+                                                       np.floating):
+            np.testing.assert_allclose(a, e, rtol=1e-12, err_msg=name)
+        elif isinstance(e, np.ndarray):
+            np.testing.assert_array_equal(a, e, err_msg=name)
+        else:
+            assert a == pytest.approx(e), name
+
+
+class TestMergeSemantics:
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_merge_equals_one_shot_statistics(self, protocol):
+        """Merged sufficient statistics match element-wise accumulation."""
+        oracle, batches, reports = perturb_batches(protocol, [40, 25, 60])
+        merged = merge_reports(reports)
+        freqs = oracle.estimate(merged)
+        assert freqs.shape == (DOMAIN,)
+        assert np.isfinite(freqs).all()
+        # The merged report must represent every user exactly once.
+        n_attr = "values" if protocol == "grr" else (
+            "seeds" if protocol == "olh" else "n")
+        n = getattr(merged, n_attr)
+        n = len(n) if isinstance(n, np.ndarray) else n
+        assert n == sum(len(b) for b in batches)
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_merge_is_associative(self, protocol):
+        _, _, reports = perturb_batches(protocol, [10, 20, 30, 5])
+        left = merge_reports([merge_reports(reports[:2]),
+                              merge_reports(reports[2:])])
+        right = merge_reports(
+            [reports[0], merge_reports(reports[1:])])
+        flat = merge_reports(reports)
+        assert_report_equal(left, flat)
+        assert_report_equal(right, flat)
+
+    @settings(max_examples=25, deadline=None)
+    @given(split=st.integers(min_value=1, max_value=4),
+           protocol=st.sampled_from(ALL_PROTOCOLS))
+    def test_any_regrouping_matches_flat_merge(self, split, protocol):
+        _, _, reports = perturb_batches(protocol, [8, 12, 6, 9, 11])
+        grouped = merge_reports([merge_reports(reports[:split]),
+                                 merge_reports(reports[split:])])
+        assert_report_equal(grouped, merge_reports(reports))
+
+    def test_empty_and_none_inputs(self):
+        assert merge_reports([]) is None
+        assert merge_reports([None, None]) is None
+
+    def test_single_report_returned_unchanged(self):
+        _, _, reports = perturb_batches("olh", [15])
+        assert merge_reports(reports) is reports[0]
+        # Identity merge holds even for unmergeable payloads.
+        sentinel = object()
+        assert merge_reports([None, sentinel]) is sentinel
+
+    def test_nones_are_skipped(self):
+        _, _, reports = perturb_batches("oue", [10, 10])
+        with_gaps = [None, reports[0], None, reports[1]]
+        assert_report_equal(merge_reports(with_gaps),
+                            merge_reports(reports))
+
+
+class TestMergeRejections:
+    def test_mixed_types_rejected(self):
+        _, _, (grr,) = perturb_batches("grr", [10])
+        _, _, (olh,) = perturb_batches("olh", [10])
+        with pytest.raises(ProtocolError, match="mixed"):
+            merge_reports([grr, olh])
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(ProtocolError, match="unsupported"):
+            merge_reports([object(), object()])
+
+    def test_incompatible_domains_rejected(self):
+        oracle_a = make_oracle("grr", 1.0, 8)
+        oracle_b = make_oracle("grr", 1.0, 16)
+        rng = ensure_rng(3)
+        reports = [oracle_a.perturb(rng.integers(0, 8, 20), rng),
+                   oracle_b.perturb(rng.integers(0, 16, 20), rng)]
+        with pytest.raises(ProtocolError, match="domains"):
+            merge_reports(reports)
+
+    def test_mergeable_protocol_predicate(self):
+        for protocol in ALL_PROTOCOLS:
+            assert mergeable_protocol(protocol)
+        assert mergeable_protocol("adaptive")
+        assert not mergeable_protocol("ahead")
+        assert "ahead" not in MERGEABLE_PROTOCOLS
