@@ -3,11 +3,16 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test bench-kernels bench-pipeline bench-figures
+.PHONY: test test-faults bench-kernels bench-pipeline bench-figures
 
-# Tier-1: the gate every PR must keep green.
+# Tier-1: the gate every PR must keep green. Includes the fault suites
+# (they collect by default; `test-faults` runs just that slice).
 test:
 	$(PY) -m pytest -x -q
+
+# Robustness slice: failure-injection + chaos tests only.
+test-faults:
+	$(PY) -m pytest -m faults -q
 
 # Micro-primitive benchmarks (tiled OLH kernel, perturb/estimate, HIO
 # answer throughput). Writes BENCH_kernels.json so PRs can diff kernel

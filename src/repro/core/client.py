@@ -25,6 +25,19 @@ reference, so its reports are **bit-identical** to
 ``chunk_size`` each group's generator is further split one-per-chunk, so
 outputs are a pure function of ``(seed, chunk_size)`` — still invariant to
 ``workers``, but a different (equally valid) random stream.
+
+Fault tolerance extends the contract rather than weakening it: every
+randomized shard task snapshots its generator's state at construction and
+restores it on entry, so a retried attempt (``retries`` > 0 after a
+transient failure, or an injected chaos fault) replays exactly the RNG
+stream the failed attempt consumed — a collection that loses any shard
+once and retries it is bit-identical to the fault-free run.
+
+Ingestion hardening: when an ``ingest`` policy is passed, every shard's
+report is sanitized (``repro.robustness``) before reduction, with
+expectations pinned to the planning oracle's parameters — so a malformed
+or forged shard either fails loudly (``strict``) or is dropped/quarantined
+with its users accounted in ``ingest_stats``.
 """
 
 from __future__ import annotations
@@ -35,10 +48,21 @@ from typing import Any, Callable, List, Optional, Sequence
 import numpy as np
 
 from repro.core.merge import merge_reports
-from repro.core.parallel import chunk_bounds, group_orders, run_sharded
+from repro.core.parallel import (
+    ExecutionStats,
+    chunk_bounds,
+    group_orders,
+    run_sharded,
+)
 from repro.core.planner import PlannedGrid
 from repro.errors import ProtocolError
 from repro.fo.adaptive import make_oracle
+from repro.robustness.policy import (
+    IngestPolicy,
+    IngestStats,
+    ReportSpec,
+    sanitize_report,
+)
 from repro.rng import RngLike, ensure_rng, spawn
 
 
@@ -106,7 +130,12 @@ def collect_reports_serial(records: np.ndarray, assignment: np.ndarray,
 def collect_reports(records: np.ndarray, assignment: np.ndarray,
                     planned_grids: Sequence[PlannedGrid], epsilon: float,
                     rng: RngLike = None, *, workers: int = 1,
-                    chunk_size: int = None) -> List[GroupReport]:
+                    chunk_size: int = None,
+                    ingest: Optional[IngestPolicy] = None,
+                    ingest_stats: Optional[IngestStats] = None,
+                    retries: int = 0, fault_injector=None,
+                    exec_stats: Optional[ExecutionStats] = None
+                    ) -> List[GroupReport]:
     """Run the client-side protocol for every group (sharded executor).
 
     Parameters
@@ -129,6 +158,13 @@ def collect_reports(records: np.ndarray, assignment: np.ndarray,
     chunk_size:
         Rows per shard within a group; ``None`` keeps whole groups (the
         geometry bit-identical to :func:`collect_reports_serial`).
+    ingest, ingest_stats:
+        Ingestion policy and its accounting: every shard report is
+        sanitized against the group's oracle parameters before merging.
+    retries, fault_injector, exec_stats:
+        Fault-tolerance knobs forwarded to
+        :func:`repro.core.parallel.run_sharded`; retried shards replay
+        the same RNG stream.
     """
     _check_assignment(records, assignment, planned_grids)
     group_rngs = spawn(ensure_rng(rng), len(planned_grids))
@@ -136,6 +172,7 @@ def collect_reports(records: np.ndarray, assignment: np.ndarray,
 
     tasks: List[Callable[[], Any]] = []
     task_group: List[int] = []
+    task_spec: List[Optional[ReportSpec]] = []
     group_sizes: List[int] = []
     for g, planned in enumerate(planned_grids):
         indices = order[offsets[g]:offsets[g + 1]]
@@ -148,6 +185,7 @@ def collect_reports(records: np.ndarray, assignment: np.ndarray,
             tasks.append(_ahead_task(planned, column, epsilon,
                                      group_rngs[g]))
             task_group.append(g)
+            task_spec.append(None)
             continue
         columns = [records[:, t][indices]
                    for t in planned.grid.column_indices]
@@ -155,16 +193,24 @@ def collect_reports(records: np.ndarray, assignment: np.ndarray,
         shard_rngs = ([group_rngs[g]] if len(bounds) == 1
                       else spawn(group_rngs[g], len(bounds)))
         oracle = make_oracle(planned.protocol, epsilon, planned.num_cells)
+        spec = ReportSpec.from_oracle(oracle) if ingest is not None \
+            else None
         for (start, stop), shard_rng in zip(bounds, shard_rngs):
             tasks.append(_shard_task(planned, oracle,
                                      [c[start:stop] for c in columns],
                                      shard_rng))
             task_group.append(g)
+            task_spec.append(spec)
 
-    results = run_sharded(tasks, workers)
+    results = run_sharded(tasks, workers, retries=retries,
+                          fault_injector=fault_injector, stats=exec_stats)
     shards_of = {g: [] for g in range(len(planned_grids))}
-    for g, result in zip(task_group, results):
-        shards_of[g].append(result)
+    for g, spec, result in zip(task_group, task_spec, results):
+        if ingest is not None:
+            result = sanitize_report(result, ingest, ingest_stats,
+                                     expected=spec)
+        if result is not None:
+            shards_of[g].append(result)
     return [GroupReport(planned=planned,
                         report=merge_reports(shards_of[g]),
                         group_size=group_sizes[g])
@@ -173,15 +219,27 @@ def collect_reports(records: np.ndarray, assignment: np.ndarray,
 
 def _shard_task(planned: PlannedGrid, oracle, columns: List[np.ndarray],
                 rng) -> Callable[[], Any]:
-    """Encode-and-perturb closure for one (group, chunk) shard."""
+    """Encode-and-perturb closure for one (group, chunk) shard.
+
+    The generator state is snapshotted at construction and restored on
+    every entry, so a retried attempt after a transient failure replays
+    exactly the stream the failed attempt consumed (the fault-tolerance
+    half of the determinism contract).
+    """
+    state = rng.bit_generator.state
+
     def run():
+        rng.bit_generator.state = state
         return oracle.perturb(planned.grid.encode_columns(*columns), rng)
     return run
 
 
 def _ahead_task(planned: PlannedGrid, column: np.ndarray, epsilon: float,
                 rng) -> Callable[[], Any]:
+    state = rng.bit_generator.state
+
     def run():
+        rng.bit_generator.state = state
         return _fit_ahead(planned, column, epsilon, rng)
     return run
 
@@ -202,7 +260,11 @@ def collect_reports_budget_split(records: np.ndarray,
                                  planned_grids: Sequence[PlannedGrid],
                                  epsilon: float,
                                  rng: RngLike = None, *, workers: int = 1,
-                                 chunk_size: int = None
+                                 chunk_size: int = None,
+                                 ingest: Optional[IngestPolicy] = None,
+                                 ingest_stats: Optional[IngestStats] = None,
+                                 retries: int = 0, fault_injector=None,
+                                 exec_stats: Optional[ExecutionStats] = None
                                  ) -> List[GroupReport]:
     """The Theorem 5.1 strawman: every user reports every grid with ε/m.
 
@@ -226,6 +288,7 @@ def collect_reports_budget_split(records: np.ndarray,
 
     tasks: List[Callable[[], Any]] = []
     task_group: List[int] = []
+    task_spec: List[Optional[ReportSpec]] = []
     for g, planned in enumerate(planned_grids):
         if len(records) == 0 or planned.num_cells < 2:
             continue
@@ -235,16 +298,24 @@ def collect_reports_budget_split(records: np.ndarray,
                       else spawn(grid_rngs[g], len(bounds)))
         oracle = make_oracle(planned.protocol, epsilon_each,
                              planned.num_cells)
+        spec = ReportSpec.from_oracle(oracle) if ingest is not None \
+            else None
         for (start, stop), shard_rng in zip(bounds, shard_rngs):
             tasks.append(_shard_task(planned, oracle,
                                      [c[start:stop] for c in columns],
                                      shard_rng))
             task_group.append(g)
+            task_spec.append(spec)
 
-    results = run_sharded(tasks, workers)
+    results = run_sharded(tasks, workers, retries=retries,
+                          fault_injector=fault_injector, stats=exec_stats)
     shards_of = {g: [] for g in range(len(planned_grids))}
-    for g, result in zip(task_group, results):
-        shards_of[g].append(result)
+    for g, spec, result in zip(task_group, task_spec, results):
+        if ingest is not None:
+            result = sanitize_report(result, ingest, ingest_stats,
+                                     expected=spec)
+        if result is not None:
+            shards_of[g].append(result)
     return [GroupReport(planned=planned,
                         report=merge_reports(shards_of[g]),
                         group_size=len(records))

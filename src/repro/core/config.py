@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.robustness.detect import validate_detector_names
+from repro.robustness.policy import INGEST_MODES
 
 _STRATEGIES = ("oug", "ohg")
 _KNOWN_PROTOCOLS = ("grr", "olh", "oue", "sue", "she", "the")
@@ -84,6 +86,24 @@ class FelipConfig:
         Rows per client-side shard within a group (``None`` = whole
         groups). ``None`` additionally makes the sharded executor
         bit-identical to the serial reference path under a fixed seed.
+    ingest_policy:
+        What the aggregator does with reports that fail ingestion
+        validation (``repro.robustness``): ``"strict"`` raises
+        :class:`~repro.errors.IngestError` (default — an invalid report
+        in a trusted pipeline means a bug), ``"drop"`` discards and
+        counts, ``"quarantine"`` discards, counts, and retains a bounded
+        audit trail. Counters surface in
+        ``Aggregator.robustness_report()``.
+    detectors:
+        Feasibility detectors run on the *raw* per-grid estimates at the
+        start of the postprocess stage: any subset of ``("range", "l1",
+        "imbalance")``. Detectors only flag (in the robustness report);
+        they never mutate estimates. Empty (default) = off.
+    shard_retries:
+        Extra attempts per shard after a transient (non-``ReproError``)
+        failure in the sharded executor, with exponential backoff.
+        Retried shards replay the same spawned RNG stream, so retries
+        never change the collected output.
     """
 
     epsilon: float = 1.0
@@ -102,8 +122,19 @@ class FelipConfig:
     one_d_protocol: str = None
     workers: int = 1
     chunk_size: Optional[int] = None
+    ingest_policy: str = "strict"
+    detectors: Tuple[str, ...] = ()
+    shard_retries: int = 2
 
     def __post_init__(self) -> None:
+        if self.ingest_policy not in INGEST_MODES:
+            raise ConfigurationError(
+                f"ingest_policy must be one of {INGEST_MODES}, "
+                f"got {self.ingest_policy!r}")
+        validate_detector_names(self.detectors)
+        if self.shard_retries < 0:
+            raise ConfigurationError(
+                f"shard_retries must be >= 0, got {self.shard_retries}")
         if self.partition_mode not in _PARTITION_MODES:
             raise ConfigurationError(
                 f"partition_mode must be one of {_PARTITION_MODES}, "

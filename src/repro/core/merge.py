@@ -110,14 +110,26 @@ _MERGERS = {
 }
 
 
-def merge_reports(reports: List[object]) -> Optional[object]:
+def merge_reports(reports: List[object], *, policy=None, stats=None,
+                  expected=None) -> Optional[object]:
     """Combine report batches of the same protocol and parameters.
 
     The merge is associative and order-insensitive up to report-internal
     ordering (GRR/OLH concatenate per-user arrays in the order given;
     every estimator downstream is permutation-invariant). Returns ``None``
     for an empty list, so accumulators need no empty-group special case.
+
+    When ``policy`` (a :class:`repro.robustness.IngestPolicy`) is given,
+    every report is sanitized before merging — invalid rows or infeasible
+    aggregates are rejected per the policy, with the accounting recorded
+    in ``stats`` and parameter expectations taken from ``expected`` (a
+    :class:`repro.robustness.ReportSpec`). This is the untrusted-ingestion
+    entry point: a forged shard can then, at worst, remove itself.
     """
+    if policy is not None:
+        from repro.robustness.policy import sanitize_reports
+        reports = sanitize_reports(reports, policy, stats,
+                                   expected=expected)
     reports = [r for r in reports if r is not None]
     if not reports:
         return None

@@ -18,6 +18,8 @@ executor for both sides:
 * :func:`chunk_bounds` — deterministic chunk geometry for one group.
 * :class:`StageTimings` — cumulative wall-clock counters per pipeline
   stage, surfaced on the aggregator.
+* :class:`ExecutionStats` — fault-tolerance accounting (retries, pool
+  degradations), surfaced in ``Aggregator.robustness_report()``.
 
 Determinism contract
 --------------------
@@ -27,19 +29,37 @@ group, and one grandchild per chunk when a group is split). Results are
 reduced in (group, chunk) order. Therefore the collected reports are a pure
 function of ``(seed, chunk_size)`` — changing ``workers`` can only change
 wall-clock time, never a single bit of output.
+
+Fault tolerance
+---------------
+Shard tasks may die for reasons that have nothing to do with their inputs
+(allocator pressure, interpreter shutdown races, injected chaos faults).
+:func:`run_sharded` retries such *transient* failures up to ``retries``
+times with exponential backoff before giving up. Deterministic failures —
+anything deriving from :class:`~repro.errors.ReproError`, which the
+library only raises on invalid inputs — are never retried: replaying them
+would produce the same error and waste the backoff.
+
+Retries preserve the determinism contract because every randomized shard
+task snapshots its generator state at construction and restores it on
+entry (see ``repro.core.client``), so a retried attempt replays exactly
+the RNG stream the failed attempt consumed. If the thread pool itself
+cannot be created (fd exhaustion, thread limits), execution degrades
+gracefully to the inline path and the collection still completes.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError
 
 
 def resolve_workers(workers: int) -> int:
@@ -52,19 +72,119 @@ def resolve_workers(workers: int) -> int:
     return workers
 
 
+class ExecutionStats:
+    """Thread-safe fault-tolerance accounting for one executor run."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.retries = 0
+        self.retried_shards: Dict[int, int] = {}
+        self.pool_fallbacks = 0
+        self.failed_shards = 0
+
+    def record_retry(self, shard: int) -> None:
+        with self._lock:
+            self.retries += 1
+            self.retried_shards[shard] = \
+                self.retried_shards.get(shard, 0) + 1
+
+    def record_pool_fallback(self) -> None:
+        with self._lock:
+            self.pool_fallbacks += 1
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.failed_shards += 1
+
+    def as_dict(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "retries": self.retries,
+                "retried_shards": dict(self.retried_shards),
+                "pool_fallbacks": self.pool_fallbacks,
+                "failed_shards": self.failed_shards,
+            }
+
+    def __repr__(self) -> str:
+        d = self.as_dict()
+        return (f"ExecutionStats(retries={d['retries']}, "
+                f"pool_fallbacks={d['pool_fallbacks']}, "
+                f"failed_shards={d['failed_shards']})")
+
+
+#: base of the exponential retry backoff (seconds); attempt k sleeps
+#: ``_BACKOFF_BASE * 2**k``. Kept tiny: shard tasks are sub-second, and
+#: transient faults (allocator pressure, injected chaos) clear quickly.
+_BACKOFF_BASE = 0.002
+
+
 def run_sharded(tasks: Sequence[Callable[[], object]],
-                workers: int) -> List[object]:
+                workers: int, *, retries: int = 0,
+                backoff: float = _BACKOFF_BASE,
+                fault_injector=None,
+                stats: Optional[ExecutionStats] = None) -> List[object]:
     """Run shard tasks, returning their results in task order.
 
     ``workers <= 1`` (after :func:`resolve_workers`) runs inline with no
     pool, so the single-worker path has zero threading overhead and is
     trivially identical to a plain loop.
+
+    Parameters
+    ----------
+    retries:
+        Extra attempts per shard after a *transient* failure (any
+        exception not deriving from :class:`~repro.errors.ReproError`;
+        library errors are deterministic and re-raise immediately).
+    backoff:
+        Base of the exponential sleep between attempts.
+    fault_injector:
+        Chaos hook (:class:`repro.robustness.FaultInjector` or anything
+        with ``maybe_fail(shard, attempt)``), consulted before every
+        attempt. Test-only; ``None`` in production paths.
+    stats:
+        Optional :class:`ExecutionStats` accumulating retries, pool
+        fallbacks, and exhausted shards across calls.
     """
+    if retries < 0:
+        raise ConfigurationError(f"retries must be >= 0, got {retries}")
+
+    def attempt(index: int, task: Callable[[], object]) -> object:
+        for attempt_no in range(retries + 1):
+            try:
+                if fault_injector is not None:
+                    fault_injector.maybe_fail(index, attempt_no)
+                return task()
+            except ReproError:
+                # Deterministic: replaying the same inputs raises the
+                # same error. Surface it to the caller immediately.
+                if stats is not None:
+                    stats.record_failure()
+                raise
+            except Exception:
+                if attempt_no >= retries:
+                    if stats is not None:
+                        stats.record_failure()
+                    raise
+                if stats is not None:
+                    stats.record_retry(index)
+                if backoff > 0:
+                    time.sleep(backoff * (2 ** attempt_no))
+        raise AssertionError("unreachable")  # pragma: no cover
+
     workers = min(resolve_workers(workers), len(tasks))
     if workers <= 1:
-        return [task() for task in tasks]
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(task) for task in tasks]
+        return [attempt(i, task) for i, task in enumerate(tasks)]
+    try:
+        pool = ThreadPoolExecutor(max_workers=workers)
+    except Exception:
+        # Graceful degradation: no pool (thread/fd exhaustion) must not
+        # abort the collection — fall back to inline execution.
+        if stats is not None:
+            stats.record_pool_fallback()
+        return [attempt(i, task) for i, task in enumerate(tasks)]
+    with pool:
+        futures = [pool.submit(attempt, i, task)
+                   for i, task in enumerate(tasks)]
         return [future.result() for future in futures]
 
 
@@ -110,10 +230,17 @@ def chunk_bounds(size: int, chunk_size: int = None) -> List[Tuple[int, int]]:
 
 
 class StageTimings:
-    """Cumulative wall-clock seconds per named pipeline stage."""
+    """Cumulative wall-clock seconds per named pipeline stage.
+
+    Accumulation is a read-modify-write on a shared dict, and estimate
+    tasks time their stages from pool worker threads — the update is
+    therefore taken under a lock so concurrent timers never lose each
+    other's seconds.
+    """
 
     def __init__(self):
         self.seconds: Dict[str, float] = {}
+        self._lock = threading.Lock()
 
     @contextmanager
     def time(self, stage: str):
@@ -122,11 +249,13 @@ class StageTimings:
         try:
             yield
         finally:
-            self.seconds[stage] = (self.seconds.get(stage, 0.0)
-                                   + time.perf_counter() - start)
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                self.seconds[stage] = self.seconds.get(stage, 0.0) + elapsed
 
     def as_dict(self) -> Dict[str, float]:
-        return dict(self.seconds)
+        with self._lock:
+            return dict(self.seconds)
 
     def __repr__(self) -> str:
         rendered = ", ".join(f"{stage}={secs:.4f}s"

@@ -6,11 +6,19 @@ post-processing stage (consistency + non-negativity, Section 5.4), builds
 response matrices per attribute pair on demand (Algorithm 3), and answers
 λ-D queries by direct rectangle sums (λ ≤ 2) or pairwise combination
 (Algorithm 4, λ > 2).
+
+Because the reports come from clients the aggregator does not control,
+ingestion is hardened (``repro.robustness``): every report is sanitized
+under ``config.ingest_policy`` before merging, configured feasibility
+detectors run on the raw per-grid estimates at the start of the
+postprocess stage, and shard execution retries transient failures
+``config.shard_retries`` times. :meth:`Aggregator.robustness_report`
+surfaces the combined accounting for the run.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -20,7 +28,7 @@ from repro.core.client import (
     collect_reports_budget_split,
 )
 from repro.core.config import FelipConfig
-from repro.core.parallel import StageTimings, run_sharded
+from repro.core.parallel import ExecutionStats, StageTimings, run_sharded
 from repro.core.partition import partition_users
 from repro.core.planner import PlannedGrid, plan_grids
 from repro.data.dataset import Dataset
@@ -38,6 +46,8 @@ from repro.postprocess.pipeline import postprocess_grids
 from repro.queries.predicate import Predicate
 from repro.queries.query import Query
 from repro.rng import RngLike, ensure_rng
+from repro.robustness.detect import DetectorFlag, run_detectors
+from repro.robustness.policy import IngestPolicy, IngestStats
 from repro.schema import Schema
 
 
@@ -56,6 +66,16 @@ class Aggregator:
         #: cumulative wall-clock seconds per pipeline stage
         #: (plan / collect / estimate / postprocess)
         self.timings = StageTimings()
+        #: ingestion admission control (mode from ``config.ingest_policy``)
+        self.ingest_policy = IngestPolicy(mode=config.ingest_policy)
+        #: admission accounting across every sanitized report
+        self.ingest_stats = IngestStats()
+        #: fault-tolerance accounting of the sharded executor
+        self.exec_stats = ExecutionStats()
+        #: chaos-test hook threaded into ``run_sharded`` (None in prod)
+        self.fault_injector = None
+        self._detector_flags: List[DetectorFlag] = []
+        self._group_sizes: List[int] = []
 
     # -- collection -----------------------------------------------------------
 
@@ -76,7 +96,12 @@ class Aggregator:
                 reports = collect_reports_budget_split(
                     dataset.records, self.plans, self.config.epsilon, rng,
                     workers=self.config.workers,
-                    chunk_size=self.config.chunk_size)
+                    chunk_size=self.config.chunk_size,
+                    ingest=self.ingest_policy,
+                    ingest_stats=self.ingest_stats,
+                    retries=self.config.shard_retries,
+                    fault_injector=self.fault_injector,
+                    exec_stats=self.exec_stats)
             else:
                 self._report_epsilon = self.config.epsilon
                 assignment = partition_users(dataset.n, len(self.plans),
@@ -85,7 +110,12 @@ class Aggregator:
                     dataset.records, assignment, self.plans,
                     self.config.epsilon, rng,
                     workers=self.config.workers,
-                    chunk_size=self.config.chunk_size)
+                    chunk_size=self.config.chunk_size,
+                    ingest=self.ingest_policy,
+                    ingest_stats=self.ingest_stats,
+                    retries=self.config.shard_retries,
+                    fault_injector=self.fault_injector,
+                    exec_stats=self.exec_stats)
         self._finalize(reports)
         return self
 
@@ -97,12 +127,25 @@ class Aggregator:
         """
         self._estimates = {}
         self._matrices = {}
+        self._group_sizes = [group.group_size for group in reports]
         with self.timings.time("estimate"):
             tasks = [self._estimate_task(group) for group in reports]
-            estimates = run_sharded(tasks, self.config.workers)
+            estimates = run_sharded(tasks, self.config.workers,
+                                    retries=self.config.shard_retries,
+                                    fault_injector=self.fault_injector,
+                                    stats=self.exec_stats)
             for group, estimate in zip(reports, estimates):
                 self._estimates[group.planned.key] = estimate
         with self.timings.time("postprocess"):
+            # Detectors need the *raw* estimates: the projection below
+            # erases exactly the infeasibility they look for.
+            self._detector_flags = []
+            if self.config.detectors:
+                raw = {key: est.frequencies.copy()
+                       for key, est in self._estimates.items()}
+                self._detector_flags = run_detectors(
+                    self.config.detectors, raw, self._cell_variances(),
+                    self._group_sizes)
             postprocess_grids(
                 list(self._estimates.values()),
                 self._cell_variances(),
@@ -170,6 +213,26 @@ class Aggregator:
                       group.planned.grid.attribute, binning)
         freqs = np.array([iv.frequency for iv in intervals])
         return GridEstimate(grid=grid, frequencies=freqs)
+
+    # -- robustness --------------------------------------------------------------
+
+    def robustness_report(self) -> Dict[str, Any]:
+        """Combined robustness accounting for the latest collection.
+
+        Bundles ingestion admission counters, sharded-executor
+        fault-tolerance stats, and the feasibility-detector verdicts
+        (``config.detectors``). ``flagged`` is True when any detector
+        triggered — the signal the attack experiments record.
+        """
+        triggered = [f for f in self._detector_flags if f.triggered]
+        return {
+            "ingest_policy": self.ingest_policy.mode,
+            "ingest": self.ingest_stats.as_dict(),
+            "execution": self.exec_stats.as_dict(),
+            "detectors": [f.as_dict() for f in self._detector_flags],
+            "flagged": bool(triggered),
+            "triggered": [f.as_dict() for f in triggered],
+        }
 
     # -- estimation accessors ---------------------------------------------------
 

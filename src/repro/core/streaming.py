@@ -13,6 +13,15 @@ Cross-batch accumulation rides on :func:`repro.core.merge.merge_reports`
 merge — all of grr/olh/oue/sue/she/the/sw — streams; configurations that
 cannot (AHEAD's interactive refinement) are rejected at construction, not
 at :meth:`StreamingCollector.finalize`.
+
+Streams are the natural untrusted-ingestion surface — reports arrive from
+clients over time — so every report is admitted through the configured
+:class:`repro.robustness.IngestPolicy` before it is accumulated, whether
+it was perturbed locally (:meth:`StreamingCollector.observe`) or received
+from the wire (:meth:`StreamingCollector.ingest_report`). The sharded
+per-batch path inherits the executor's retry-with-backoff fault
+tolerance; accounting flows into the finalized aggregator's
+``robustness_report()``.
 """
 
 from __future__ import annotations
@@ -24,12 +33,19 @@ import numpy as np
 from repro.core.client import GroupReport
 from repro.core.config import FelipConfig
 from repro.core.merge import merge_reports, mergeable_protocol
-from repro.core.parallel import run_sharded
+from repro.core.parallel import ExecutionStats, run_sharded
 from repro.core.planner import PlannedGrid, plan_grids
 from repro.core.server import Aggregator
 from repro.errors import ConfigurationError, ProtocolError
 from repro.fo.adaptive import make_oracle
 from repro.rng import RngLike, ensure_rng, spawn
+from repro.robustness.policy import (
+    IngestPolicy,
+    IngestStats,
+    ReportSpec,
+    report_user_count,
+    sanitize_report,
+)
 from repro.schema import Schema
 
 __all__ = ["StreamingCollector", "merge_reports"]
@@ -95,6 +111,15 @@ class StreamingCollector:
             p.key: [] for p in self.plans}
         self._group_sizes = np.zeros(len(self.plans), dtype=np.int64)
         self.observed = 0
+        #: ingestion admission control shared by observe()/ingest_report()
+        self.ingest_policy = IngestPolicy(mode=config.ingest_policy)
+        self.ingest_stats = IngestStats()
+        self.exec_stats = ExecutionStats()
+        #: chaos-test hook for the sharded per-batch path (None in prod)
+        self.fault_injector = None
+        self._specs = {key: ReportSpec.from_oracle(oracle)
+                       for key, oracle in self._oracles.items()}
+        self._group_of = {p.key: g for g, p in enumerate(self.plans)}
 
     def observe(self, records: np.ndarray, rng: RngLike = None) -> None:
         """Ingest one batch of arriving users (``(b, k)`` code matrix).
@@ -115,6 +140,16 @@ class StreamingCollector:
             self._observe_serial(records, assignment, rng)
         self.observed += len(records)
 
+    def _admit(self, key: Tuple[int, ...], report) -> bool:
+        """Run one report through admission control; accumulate if valid."""
+        sanitized = sanitize_report(report, self.ingest_policy,
+                                    self.ingest_stats,
+                                    expected=self._specs.get(key))
+        if sanitized is None:
+            return False
+        self._batches[key].append(sanitized)
+        return True
+
     def _observe_serial(self, records: np.ndarray, assignment: np.ndarray,
                         rng) -> None:
         """Legacy single-stream path: all perturbs draw from one rng."""
@@ -124,8 +159,8 @@ class StreamingCollector:
             if len(rows) == 0 or plan.num_cells < 2:
                 continue
             values = plan.grid.encode(rows)
-            self._batches[plan.key].append(
-                self._oracles[plan.key].perturb(values, rng))
+            self._admit(plan.key,
+                        self._oracles[plan.key].perturb(values, rng))
 
     def _observe_sharded(self, records: np.ndarray,
                          assignment: np.ndarray, rng) -> None:
@@ -139,15 +174,47 @@ class StreamingCollector:
                 continue
             tasks.append(self._perturb_task(plan, rows, group_rngs[g]))
             task_group.append(g)
-        for g, report in zip(task_group,
-                             run_sharded(tasks, self.config.workers)):
-            self._batches[self.plans[g].key].append(report)
+        reports = run_sharded(tasks, self.config.workers,
+                              retries=self.config.shard_retries,
+                              fault_injector=self.fault_injector,
+                              stats=self.exec_stats)
+        for g, report in zip(task_group, reports):
+            self._admit(self.plans[g].key, report)
 
     def _perturb_task(self, plan: PlannedGrid, rows: np.ndarray, rng):
+        state = rng.bit_generator.state
+
         def run():
+            rng.bit_generator.state = state  # replay-safe under retry
             return self._oracles[plan.key].perturb(plan.grid.encode(rows),
                                                    rng)
         return run
+
+    def ingest_report(self, key, report) -> bool:
+        """Admit one externally produced report for the grid ``key``.
+
+        This is the wire-facing entry point: the report was *not*
+        perturbed by this collector, so nothing about it is trusted. It
+        passes through the same admission control as locally observed
+        batches — sanitized against the plan's oracle parameters, with
+        rejections raising :class:`~repro.errors.IngestError` (``strict``)
+        or counted in ``ingest_stats`` (``drop``/``quarantine``).
+
+        Returns True when the (possibly row-filtered) report was
+        accumulated; accepted users count toward ``observed`` and the
+        grid's group size.
+        """
+        key = tuple(key)
+        if key not in self._batches:
+            raise ProtocolError(
+                f"no planned grid with key {key}; planned keys: "
+                f"{sorted(self._batches)}")
+        if not self._admit(key, report):
+            return False
+        users = report_user_count(self._batches[key][-1])
+        self._group_sizes[self._group_of[key]] += users
+        self.observed += users
+        return True
 
     def finalize(self) -> Aggregator:
         """Build a queryable aggregator from everything observed so far.
@@ -165,5 +232,10 @@ class StreamingCollector:
         aggregator = Aggregator(self.schema, self.config)
         aggregator.n = self.observed
         aggregator.plans = self.plans
+        # Share the stream's admission/fault accounting so the model's
+        # robustness_report() covers the whole collection, not just the
+        # finalize-time estimation pass.
+        aggregator.ingest_stats = self.ingest_stats
+        aggregator.exec_stats = self.exec_stats
         aggregator._finalize(reports)
         return aggregator

@@ -32,6 +32,16 @@ class ProtocolError(ReproError):
     """A frequency-oracle protocol was misused (wrong domain, bad report...)."""
 
 
+class IngestError(ReproError):
+    """An untrusted report failed ingestion validation under a strict policy.
+
+    Raised by :func:`repro.robustness.sanitize_report` when
+    ``IngestPolicy(mode="strict")`` meets a malformed or infeasible report;
+    the ``drop`` and ``quarantine`` modes record the rejection in an
+    :class:`~repro.robustness.IngestStats` counter instead of raising.
+    """
+
+
 class GridError(ReproError):
     """A grid definition or grid-sizing computation is invalid."""
 

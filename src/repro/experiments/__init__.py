@@ -8,6 +8,7 @@ from repro.experiments.runner import (
     make_strategy,
 )
 from repro.experiments import figures
+from repro.experiments.attacks import poisoning_sweep, run_poisoning_cell
 
 __all__ = [
     "DatasetSpec",
@@ -17,4 +18,6 @@ __all__ = [
     "make_strategy",
     "evaluate_strategy",
     "figures",
+    "poisoning_sweep",
+    "run_poisoning_cell",
 ]

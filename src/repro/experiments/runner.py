@@ -9,7 +9,7 @@ cell and reports the MAE the figures plot.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Sequence
 
 import numpy as np
@@ -72,7 +72,12 @@ def make_strategy(name: str, schema: Schema, epsilon: float,
 
 @dataclass(frozen=True)
 class RunResult:
-    """Outcome of one strategy on one dataset/workload."""
+    """Outcome of one strategy on one dataset/workload.
+
+    ``robustness`` is the last fit's ``Aggregator.robustness_report()``
+    (ingestion drops/quarantines, detector flags, shard retry counts);
+    empty for baselines without a robustness-instrumented aggregator.
+    """
 
     strategy: str
     epsilon: float
@@ -81,6 +86,7 @@ class RunResult:
     truths: np.ndarray
     fit_seconds: float
     answer_seconds: float
+    robustness: Dict[str, object] = field(default_factory=dict)
 
 
 def evaluate_strategy(name: str, dataset: Dataset,
@@ -117,4 +123,12 @@ def evaluate_strategy(name: str, dataset: Dataset,
     return RunResult(strategy=name, epsilon=epsilon,
                      mae=float(np.mean(maes)), estimates=last_estimates,
                      truths=truths, fit_seconds=fit_seconds / repeats,
-                     answer_seconds=answer_seconds / repeats)
+                     answer_seconds=answer_seconds / repeats,
+                     robustness=_robustness_of(model))
+
+
+def _robustness_of(model) -> Dict[str, object]:
+    """The fitted model's robustness report ({} for plain baselines)."""
+    aggregator = getattr(model, "aggregator", model)
+    report = getattr(aggregator, "robustness_report", None)
+    return report() if callable(report) else {}

@@ -20,10 +20,35 @@ from repro.rng import RngLike, ensure_rng
 
 @dataclass(frozen=True)
 class GRRReport:
-    """Batch of GRR reports: one perturbed value per user."""
+    """Batch of GRR reports: one perturbed value per user.
+
+    Invariants enforced at construction (mirroring :class:`OLHReport`):
+    every value in ``[0, domain_size)``. ``values`` is normalized to
+    ``int64`` so estimation's ``bincount`` never re-casts.
+    """
 
     values: np.ndarray
     domain_size: int
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values)
+        if values.ndim != 1:
+            raise ProtocolError(
+                f"values must be 1-D, got shape {values.shape}")
+        if self.domain_size < 1:
+            raise ProtocolError(
+                f"domain size must be >= 1, got {self.domain_size}")
+        if not np.issubdtype(values.dtype, np.integer):
+            raise ProtocolError(
+                f"values must be integers, got dtype {values.dtype}")
+        if len(values) and (values.min() < 0
+                            or values.max() >= self.domain_size):
+            raise ProtocolError(
+                f"values must lie in [0, {self.domain_size}), got range "
+                f"[{values.min()}, {values.max()}]"
+            )
+        object.__setattr__(
+            self, "values", values.astype(np.int64, copy=False))
 
     def __len__(self) -> int:
         return len(self.values)

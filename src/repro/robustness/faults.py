@@ -1,0 +1,71 @@
+"""Deterministic fault injection for the sharded executor.
+
+:class:`FaultInjector` is the chaos-testing hook the fault-tolerant
+executor (:func:`repro.core.parallel.run_sharded`) consults before every
+shard attempt. It is fully deterministic — "fail shard k on attempt j" —
+so chaos tests can assert the strongest possible property: a collection
+that loses any single shard once and retries it is **bit-identical** to
+the fault-free run (shard tasks re-enter with a replayed RNG stream; see
+``repro.core.client``).
+
+The injected exception, :class:`TransientShardFault`, deliberately does
+*not* derive from :class:`~repro.errors.ReproError`: library-raised errors
+are deterministic (a ProtocolError will recur on every replay), so the
+executor only retries non-``ReproError`` failures — exactly the class an
+infrastructure fault (OOM kill, interpreter shutdown, allocator hiccup)
+lands in.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, Tuple
+
+
+class TransientShardFault(RuntimeError):
+    """A simulated transient infrastructure failure inside one shard."""
+
+
+class FaultInjector:
+    """Fail chosen ``(shard, attempt)`` pairs of a sharded run.
+
+    Parameters
+    ----------
+    fail:
+        Iterable of ``(shard_index, attempt)`` pairs to fail, e.g.
+        ``[(3, 0)]`` kills shard 3's first attempt (its retry succeeds).
+    fail_all_first_attempts:
+        Convenience: fail attempt 0 of every shard (one full retry wave).
+
+    The injector counts what it did (``injected``) and is safe to consult
+    from pool worker threads.
+    """
+
+    def __init__(self, fail: Iterable[Tuple[int, int]] = (),
+                 fail_all_first_attempts: bool = False):
+        self._fail = {(int(s), int(a)) for s, a in fail}
+        self._fail_all_first = bool(fail_all_first_attempts)
+        self._lock = threading.Lock()
+        self.injected: Dict[Tuple[int, int], int] = {}
+
+    def maybe_fail(self, shard: int, attempt: int) -> None:
+        """Raise :class:`TransientShardFault` if this attempt is doomed."""
+        doomed = ((shard, attempt) in self._fail
+                  or (self._fail_all_first and attempt == 0))
+        if not doomed:
+            return
+        with self._lock:
+            key = (shard, attempt)
+            self.injected[key] = self.injected.get(key, 0) + 1
+        raise TransientShardFault(
+            f"injected fault: shard {shard}, attempt {attempt}")
+
+    @property
+    def total_injected(self) -> int:
+        with self._lock:
+            return sum(self.injected.values())
+
+    def __repr__(self) -> str:
+        return (f"FaultInjector(fail={sorted(self._fail)}, "
+                f"fail_all_first_attempts={self._fail_all_first}, "
+                f"injected={self.total_injected})")

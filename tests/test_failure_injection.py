@@ -10,16 +10,27 @@ import numpy as np
 import pytest
 
 from repro import Felip, FelipConfig
+from repro.core.merge import merge_reports
 from repro.data import uniform_dataset
-from repro.errors import ProtocolError, ReproError
+from repro.errors import IngestError, ProtocolError, ReproError
 from repro.fo import (
     GeneralizedRandomizedResponse,
     OptimizedLocalHashing,
 )
+from repro.fo.adaptive import make_oracle
 from repro.fo.grr import GRRReport
 from repro.fo.olh import OLHReport
 from repro.postprocess import normalize_non_negative
 from repro.queries import Query, between
+from repro.robustness import (
+    IngestPolicy,
+    IngestStats,
+    ReportSpec,
+    forge_report,
+    sanitize_report,
+)
+
+pytestmark = pytest.mark.faults
 
 
 class TestCorruptedGRRReports:
@@ -41,14 +52,15 @@ class TestCorruptedGRRReports:
         assert np.isfinite(estimates).all()
 
     def test_out_of_domain_report_values_crash_loudly(self):
-        # bincount with minlength only grows; out-of-domain values make a
-        # longer count vector, which must not silently mis-shape the
-        # estimate.
-        oracle = GeneralizedRandomizedResponse(1.0, 4)
-        report = GRRReport(values=np.array([0, 1, 9]), domain_size=4)
-        estimates = oracle.estimate(report)
-        # Either the estimator rejects or it returns domain-size entries.
-        assert len(estimates) >= 4
+        # Out-of-domain values used to flow into bincount and mis-shape
+        # the estimate; the report now rejects them at construction,
+        # exactly like OLHReport rejects out-of-range buckets.
+        with pytest.raises(ProtocolError):
+            GRRReport(values=np.array([0, 1, 9]), domain_size=4)
+        with pytest.raises(ProtocolError):
+            GRRReport(values=np.array([0, -1, 2]), domain_size=4)
+        with pytest.raises(ProtocolError):
+            GRRReport(values=np.array([0.5, 1.0]), domain_size=4)
 
 
 class TestCorruptedOLHReports:
@@ -123,6 +135,115 @@ class TestDegenerateCollections:
         model = Felip.ohg(dataset.schema, epsilon=1.0).fit(dataset, rng=9)
         q = Query([between("num_0", 0, 0)])
         assert model.answer(q) == pytest.approx(0.5, abs=0.15)
+
+
+HISTOGRAM_PROTOCOLS = ("oue", "sue", "she", "the", "sw")
+
+
+def _honest_report(protocol, epsilon=1.0, domain=8, n=2000, seed=11):
+    oracle = make_oracle(protocol, epsilon, domain)
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, domain, size=n)
+    return oracle, oracle.perturb(values, np.random.default_rng(seed + 1))
+
+
+class TestHistogramProtocolsUnderFailureInjection:
+    """OUE/SUE/SHE/THE/SW: duplicated reports, adversarial payloads,
+    empty batches — estimates stay finite and correctly shaped, or the
+    failure surfaces as a typed ReproError. Never NaN, never a silently
+    mis-shaped estimate."""
+
+    @pytest.mark.parametrize("protocol", HISTOGRAM_PROTOCOLS)
+    def test_duplicated_reports_estimate_finite(self, protocol):
+        # A replayed (duplicated) batch doubles every sufficient
+        # statistic consistently; the estimate must stay finite and
+        # match the domain's shape.
+        oracle, report = _honest_report(protocol)
+        merged = merge_reports([report, report])
+        estimates = oracle.estimate(merged)
+        assert estimates.shape == (8,)
+        assert np.isfinite(estimates).all()
+        # Duplication preserves per-user averages, so the estimate is
+        # unchanged up to floating-point association.
+        np.testing.assert_allclose(estimates, oracle.estimate(report),
+                                   atol=1e-9)
+
+    @pytest.mark.parametrize("protocol", HISTOGRAM_PROTOCOLS)
+    def test_empty_batch_is_typed_error_or_none(self, protocol):
+        """An empty merge is None; a forged zero-user report either
+        fails ingestion with a typed error or estimates without NaNs."""
+        oracle, report = _honest_report(protocol)
+        assert merge_reports([]) is None
+        empty = forge_report(type(report), **{**vars(report), "n": 0})
+        try:
+            sanitized = sanitize_report(
+                empty, IngestPolicy(mode="strict"), IngestStats(),
+                expected=ReportSpec.from_oracle(oracle))
+            estimates = oracle.estimate(sanitized)
+        except ReproError:
+            return  # typed rejection is the expected outcome
+        assert not np.isnan(estimates).any()
+
+    @pytest.mark.parametrize("protocol", HISTOGRAM_PROTOCOLS)
+    def test_adversarial_payloads_rejected_by_strict_ingest(self,
+                                                            protocol):
+        """Forged wire payloads (bypassing constructors) either fail
+        sanitization with IngestError or sanitize to a valid report."""
+        oracle, report = _honest_report(protocol)
+        policy = IngestPolicy(mode="strict")
+        spec = ReportSpec.from_oracle(oracle)
+        corruptions = []
+        fields = vars(report)
+        if protocol in ("oue", "sue"):
+            corruptions = [
+                {"ones": np.full(8, -5), "n": report.n},     # negative
+                {"ones": report.ones[:3], "n": report.n},    # mis-shaped
+                {"ones": report.ones.astype(float) + np.nan,
+                 "n": report.n},                             # NaN
+            ]
+            cls = type(report)
+        elif protocol == "she":
+            corruptions = [
+                {"sums": np.full(8, np.nan), "n": report.n},
+                {"sums": report.sums[:2], "n": report.n},
+                {"sums": report.sums, "n": -3},
+            ]
+            cls = type(report)
+        elif protocol == "the":
+            corruptions = [
+                {"supports": np.full(8, report.n + 10), "n": report.n,
+                 "threshold": report.threshold},             # > n
+                {"supports": report.supports, "n": report.n,
+                 "threshold": np.inf},                       # bad θ
+            ]
+            cls = type(report)
+        else:  # sw
+            corruptions = [
+                {"counts": np.full_like(report.counts, -1), "n": report.n,
+                 "wave_width": report.wave_width},
+                {"counts": report.counts, "n": report.n + 999,
+                 "wave_width": report.wave_width},           # sum != n
+            ]
+            cls = type(report)
+        for bad_fields in corruptions:
+            forged = forge_report(cls, **{**fields, **bad_fields})
+            with pytest.raises(IngestError):
+                sanitize_report(forged, policy, IngestStats(),
+                                expected=spec)
+
+    @pytest.mark.parametrize("protocol", HISTOGRAM_PROTOCOLS)
+    def test_adversarial_seed_collision_stays_bounded(self, protocol):
+        # Every user reporting from the same generator state (a broken
+        # client fleet reusing one seed) still yields finite estimates.
+        oracle = make_oracle(protocol, 1.0, 8)
+        values = np.zeros(500, dtype=np.int64)
+        reports = [oracle.perturb(values, np.random.default_rng(7))
+                   for _ in range(3)]
+        estimates = oracle.estimate(merge_reports(reports))
+        assert np.isfinite(estimates).all()
+        cleaned = normalize_non_negative(estimates)
+        assert cleaned.sum() == pytest.approx(1.0)
+        assert (cleaned >= 0).all() and (cleaned <= 1).all()
 
 
 class TestEverythingRaisesReproError:
