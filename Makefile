@@ -3,7 +3,8 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test test-faults bench-kernels bench-pipeline bench-figures
+.PHONY: test test-faults bench-kernels bench-pipeline bench-answers \
+	bench-figures
 
 # Tier-1: the gate every PR must keep green. Includes the fault suites
 # (they collect by default; `test-faults` runs just that slice).
@@ -29,6 +30,15 @@ bench-pipeline:
 	$(PY) -m pytest benchmarks/test_pipeline_parallel.py -m benchmarks -q \
 	    --benchmark-json=.bench_raw.json
 	$(PY) benchmarks/record.py .bench_raw.json BENCH_pipeline.json
+	@rm -f .bench_raw.json
+
+# Answering-engine throughput: eager materialization, summed-area
+# lookups, and the batched 1000-query mixed-λ workload vs the per-query
+# loop (which must be ≥10x slower). Writes BENCH_answers.json.
+bench-answers:
+	$(PY) -m pytest benchmarks/test_answer_throughput.py -m benchmarks -q \
+	    --benchmark-json=.bench_raw.json
+	$(PY) benchmarks/record.py .bench_raw.json BENCH_answers.json
 	@rm -f .bench_raw.json
 
 # The full figure-regeneration benchmark suite (slow).

@@ -1,0 +1,111 @@
+"""Benchmarks of the vectorized answering engine.
+
+Tracks the three layers the engine optimizes: materializing a pair's
+response matrix (Algorithm 3 IPF), summed-area rectangle lookups, and the
+batched workload path against the per-query loop on a 6-attribute,
+1000-query mixed-λ workload. ``make bench-answers`` records the results
+in ``BENCH_answers.json``; the ≥10x batched-vs-loop throughput floor is
+asserted directly.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.felip import Felip
+from repro.data import normal_dataset
+from repro.estimation import SummedAreaTable
+from repro.queries.workload import WorkloadSpec, random_workload
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.errors.ConvergenceWarning")
+
+USERS = 60_000
+QUERIES_PER_DIM = 250  # λ ∈ {1, 2, 3, 4} -> 1000 queries total
+
+
+@pytest.fixture(scope="module")
+def bench_dataset():
+    return normal_dataset(USERS, num_numerical=4, num_categorical=2,
+                          numerical_domain=64, categorical_domain=8,
+                          rng=2023)
+
+
+@pytest.fixture(scope="module")
+def fitted(bench_dataset):
+    return Felip.ohg(bench_dataset.schema, epsilon=1.0).fit(
+        bench_dataset, rng=2024)
+
+
+@pytest.fixture(scope="module")
+def workload(bench_dataset):
+    queries = []
+    for dim in (1, 2, 3, 4):
+        spec = WorkloadSpec(num_queries=QUERIES_PER_DIM, dimension=dim,
+                            selectivity=0.4)
+        queries.extend(random_workload(bench_dataset.schema, spec,
+                                       rng=100 + dim))
+    return queries
+
+
+def test_pair_matrix_materialize(benchmark, fitted):
+    """Eager build of all C(6, 2) = 15 response matrices + SATs."""
+    agg = fitted.aggregator
+
+    def setup():
+        agg._matrices.clear()
+        agg._matrix_diags.clear()
+        agg._sats.clear()
+        return (), {}
+
+    benchmark.pedantic(agg.materialize, setup=setup, rounds=3,
+                       iterations=1)
+
+
+def test_sat_rectangle_lookups(benchmark):
+    """1000 rectangle sums against one 64x64 matrix, all via the SAT."""
+    rng = np.random.default_rng(0)
+    matrix = rng.dirichlet(np.ones(64 * 64)).reshape(64, 64)
+    sat = SummedAreaTable(matrix)
+    lo = rng.integers(0, 32, size=(1000, 2))
+    hi = lo + rng.integers(1, 32, size=(1000, 2))
+    r0, c0 = lo[:, 0], lo[:, 1]
+    r1, c1 = hi[:, 0], hi[:, 1]
+    benchmark(lambda: sat.rectangle(r0, r1, c0, c1))
+
+
+def test_workload_batched(benchmark, fitted, workload):
+    """The batched path on the 1000-query mixed-λ workload."""
+    fitted.materialize()
+    benchmark.pedantic(lambda: fitted.answer_workload(workload),
+                       rounds=5, iterations=1)
+
+
+def test_workload_loop(benchmark, fitted, workload):
+    """The per-query loop the batched path replaces (the old default)."""
+    fitted.materialize()
+    benchmark.pedantic(
+        lambda: fitted.aggregator.answer_workload_loop(workload),
+        rounds=1, iterations=1)
+
+
+def test_batched_speedup_at_least_10x(fitted, workload):
+    """Acceptance floor: ≥10x workload answer throughput over the loop."""
+    fitted.materialize()
+    agg = fitted.aggregator
+
+    batched = fitted.answer_workload(workload)  # warm caches
+    start = time.perf_counter()
+    batched = fitted.answer_workload(workload)
+    batched_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    loop = agg.answer_workload_loop(workload)
+    loop_s = time.perf_counter() - start
+
+    np.testing.assert_allclose(batched, loop, atol=1e-9)
+    speedup = loop_s / batched_s
+    print(f"\nbatched={batched_s:.4f}s loop={loop_s:.4f}s "
+          f"speedup={speedup:.1f}x")
+    assert speedup >= 10.0

@@ -84,8 +84,21 @@ class Felip:
         return self._aggregator.answer(query)
 
     def answer_workload(self, queries: Iterable[Query]) -> np.ndarray:
-        """Estimated answers for a workload."""
+        """Estimated answers for a workload (batched by λ and pair set)."""
         return self._aggregator.answer_workload(queries)
+
+    def materialize(self, pairs=None) -> "Felip":
+        """Eagerly build response matrices + summed-area answer caches.
+
+        See :meth:`repro.core.Aggregator.materialize`; returns ``self``
+        for chaining (``Felip.ohg(...).fit(ds).materialize()``).
+        """
+        self._aggregator.materialize(pairs)
+        return self
+
+    def fit_diagnostics(self):
+        """Convergence diagnostics of Algorithm 3 / 4 iterative fits."""
+        return self._aggregator.fit_diagnostics()
 
     def marginal(self, attribute) -> np.ndarray:
         """Estimated value-level distribution of one attribute."""

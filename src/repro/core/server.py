@@ -18,6 +18,7 @@ surfaces the combined accounting for the run.
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
@@ -32,16 +33,22 @@ from repro.core.parallel import ExecutionStats, StageTimings, run_sharded
 from repro.core.partition import partition_users
 from repro.core.planner import PlannedGrid, plan_grids
 from repro.data.dataset import Dataset
-from repro.errors import NotFittedError, QueryError
+from repro.errors import ConvergenceWarning, NotFittedError, QueryError
+from repro.estimation.engine import SummedAreaTable
 from repro.estimation.lambda_query import (
     PairAnswers,
-    estimate_lambda_query,
-    pair_answers_from_matrix,
+    canonical_pairs,
+    fit_lambda_queries,
+    fit_lambda_query,
+    pair_answers_tables,
 )
-from repro.estimation.response_matrix import build_response_matrix
+from repro.estimation.response_matrix import (
+    IPFDiagnostics,
+    fit_response_matrix,
+)
 from repro.fo.adaptive import make_oracle
 from repro.fo.variance import grr_variance, olh_variance
-from repro.grids.grid import GridEstimate
+from repro.grids.grid import GridEstimate, predicate_cell_weights
 from repro.postprocess.pipeline import postprocess_grids
 from repro.queries.predicate import Predicate
 from repro.queries.query import Query
@@ -61,6 +68,9 @@ class Aggregator:
         self.plans: List[PlannedGrid] = []
         self._estimates: Dict[Tuple[int, ...], GridEstimate] = {}
         self._matrices: Dict[Tuple[int, int], np.ndarray] = {}
+        self._matrix_diags: Dict[Tuple[int, int], IPFDiagnostics] = {}
+        self._sats: Dict[Tuple[int, int], SummedAreaTable] = {}
+        self._lambda_stats: Dict[str, int] = self._fresh_lambda_stats()
         self._priors: Dict[Tuple[int, int], np.ndarray] = {}
         self._report_epsilon: float = config.epsilon
         #: cumulative wall-clock seconds per pipeline stage
@@ -127,6 +137,9 @@ class Aggregator:
         """
         self._estimates = {}
         self._matrices = {}
+        self._matrix_diags = {}
+        self._sats = {}
+        self._lambda_stats = self._fresh_lambda_stats()
         self._group_sizes = [group.group_size for group in reports]
         with self.timings.time("estimate"):
             tasks = [self._estimate_task(group) for group in reports]
@@ -248,22 +261,119 @@ class Aggregator:
         except KeyError:
             raise QueryError(f"no grid with key {key}") from None
 
+    @staticmethod
+    def _fresh_lambda_stats() -> Dict[str, int]:
+        return {"queries": 0, "non_converged": 0, "total_sweeps": 0,
+                "max_sweeps": 0}
+
+    def _record_lambda(self, sweeps, converged) -> None:
+        """Fold per-query λ-IPF diagnostics into the running counters."""
+        sweeps = np.atleast_1d(np.asarray(sweeps, dtype=np.int64))
+        converged = np.atleast_1d(np.asarray(converged, dtype=bool))
+        self._lambda_stats["queries"] += int(sweeps.size)
+        self._lambda_stats["non_converged"] += int((~converged).sum())
+        self._lambda_stats["total_sweeps"] += int(sweeps.sum())
+        self._lambda_stats["max_sweeps"] = max(
+            self._lambda_stats["max_sweeps"], int(sweeps.max()))
+
+    def _build_matrix(self, i: int, j: int
+                      ) -> Tuple[np.ndarray, IPFDiagnostics]:
+        """Fit one pair's response matrix (pure: no cache writes).
+
+        Side-effect-free so :meth:`materialize` can run many fits on the
+        sharded executor without racing on the caches.
+        """
+        related = [self.estimate_for((i, j))]
+        for t in (i, j):
+            if (t,) in self._estimates:
+                related.append(self._estimates[(t,)])
+        return fit_response_matrix(
+            related, i, j,
+            self.schema[i].domain_size, self.schema[j].domain_size,
+            self.n, max_iters=self.config.response_matrix_max_iters,
+            prior=self._priors.get((i, j)))
+
     def response_matrix(self, i: int, j: int) -> np.ndarray:
         """Response matrix ``M(i, j)`` with ``i < j`` (cached)."""
         self._require_fitted()
         if i >= j:
             raise QueryError(f"pair must satisfy i < j, got ({i}, {j})")
         if (i, j) not in self._matrices:
-            related = [self.estimate_for((i, j))]
-            for t in (i, j):
-                if (t,) in self._estimates:
-                    related.append(self._estimates[(t,)])
-            self._matrices[(i, j)] = build_response_matrix(
-                related, i, j,
-                self.schema[i].domain_size, self.schema[j].domain_size,
-                self.n, max_iters=self.config.response_matrix_max_iters,
-                prior=self._priors.get((i, j)))
+            matrix, diag = self._build_matrix(i, j)
+            self._matrices[(i, j)] = matrix
+            self._matrix_diags[(i, j)] = diag
         return self._matrices[(i, j)]
+
+    def _normalize_pairs(self, pairs) -> List[Tuple[int, int]]:
+        """Resolve user pair specs (names or indices) to sorted index pairs."""
+        norm: List[Tuple[int, int]] = []
+        for a, b in pairs:
+            i = (self.schema.index_of(a) if isinstance(a, str) else int(a))
+            j = (self.schema.index_of(b) if isinstance(b, str) else int(b))
+            if i == j:
+                raise QueryError("pair needs two distinct attributes")
+            if not (0 <= i < len(self.schema) and 0 <= j < len(self.schema)):
+                raise QueryError(f"pair ({a}, {b}) outside schema")
+            if i > j:
+                i, j = j, i
+            if (i, j) not in norm:
+                norm.append((i, j))
+        return norm
+
+    def materialize(self, pairs=None) -> "Aggregator":
+        """Eagerly build response matrices + summed-area tables.
+
+        Fits every requested pair's matrix (all ``C(k, 2)`` pairs by
+        default) through the sharded executor — same workers / retry /
+        fault-injection machinery as collection — then caches a
+        :class:`~repro.estimation.SummedAreaTable` per matrix so any
+        ``BETWEEN x BETWEEN`` rectangle (and all four sign cells of a
+        pair's 2x2 table) is answered in O(1) lookups. Idempotent; time is
+        recorded under the ``materialize`` stage.
+        """
+        self._require_fitted()
+        if pairs is None:
+            norm = canonical_pairs(len(self.schema))
+        else:
+            norm = self._normalize_pairs(pairs)
+        with self.timings.time("materialize"):
+            missing = [p for p in norm if p not in self._matrices]
+            if missing:
+                tasks = [self._matrix_task(i, j) for i, j in missing]
+                results = run_sharded(tasks, self.config.workers,
+                                      retries=self.config.shard_retries,
+                                      fault_injector=self.fault_injector,
+                                      stats=self.exec_stats)
+                for pair, (matrix, diag) in zip(missing, results):
+                    self._matrices[pair] = matrix
+                    self._matrix_diags[pair] = diag
+            for pair in norm:
+                if pair not in self._sats:
+                    self._sats[pair] = SummedAreaTable(self._matrices[pair])
+        return self
+
+    def _matrix_task(self, i: int, j: int):
+        """Per-pair matrix-fit closure for the sharded executor."""
+        def run():
+            return self._build_matrix(i, j)
+        return run
+
+    def fit_diagnostics(self) -> Dict[str, Any]:
+        """Convergence diagnostics of every iterative fit so far.
+
+        ``response_matrices`` maps each built pair to its Algorithm 3
+        :class:`~repro.estimation.IPFDiagnostics`; ``lambda_queries``
+        accumulates Algorithm 4 sweep counters across every λ ≥ 3 answer
+        since the last fit. Counters reset on refit.
+        """
+        self._require_fitted()
+        return {
+            "response_matrices": {pair: diag.as_dict()
+                                  for pair, diag
+                                  in sorted(self._matrix_diags.items())},
+            "lambda_queries": dict(self._lambda_stats),
+            "materialized_pairs": sorted(self._sats),
+        }
 
     def set_prior(self, attr_i, attr_j, matrix: np.ndarray) -> None:
         """Register public prior knowledge of a pair's joint distribution.
@@ -293,6 +403,8 @@ class Aggregator:
             raise QueryError("prior must be non-negative with positive mass")
         self._priors[(i, j)] = matrix / matrix.sum()
         self._matrices.pop((i, j), None)
+        self._matrix_diags.pop((i, j), None)
+        self._sats.pop((i, j), None)
 
     def joint(self, attr_i, attr_j) -> np.ndarray:
         """Estimated value-level joint distribution of an attribute pair.
@@ -321,8 +433,7 @@ class Aggregator:
                 f"attribute {attr.name!r} is categorical; means are only "
                 f"defined for numerical attributes")
         marginal = self.marginal(t)
-        values = np.array([attr.code_to_value(c)
-                           for c in range(attr.domain_size)])
+        values = attr.decoded_values()
         total = marginal.sum()
         if total <= 0:
             return float(values.mean())
@@ -354,16 +465,69 @@ class Aggregator:
         """Estimated fractional answer of a λ-D query."""
         self._require_fitted()
         query.validate_for(self.schema)
-        predicates = list(query)
+        predicates = self._sorted_predicates(query)
         if len(predicates) == 1:
             return self._answer_single(predicates[0])
         if len(predicates) == 2:
-            return self._answer_pair(predicates[0], predicates[1])
+            ta = self.schema.index_of(predicates[0].attribute)
+            tb = self.schema.index_of(predicates[1].attribute)
+            value = self._pair_values(ta, tb, [predicates[0]],
+                                      [predicates[1]])[0]
+            return self._clamp(value)
         return self._answer_lambda(predicates)
 
     def answer_workload(self, queries: Iterable[Query]) -> np.ndarray:
-        """Vectorized convenience over :meth:`answer`."""
+        """Batched workload answering (grouped by λ and attribute set).
+
+        Queries over the same attributes are answered together: 1-D
+        batches as one stacked weight/indicator matmul, 2-D batches as
+        summed-area lookups (or one indicator matmul per group), λ ≥ 3
+        batches through the batched Algorithm 4 IPF. Results are
+        numerically identical to calling :meth:`answer` per query (see
+        :meth:`answer_workload_loop`); time is recorded under the
+        ``answer`` stage.
+        """
+        self._require_fitted()
+        queries = list(queries)
+        for query in queries:
+            query.validate_for(self.schema)
+        out = np.zeros(len(queries))
+        if not queries:
+            return out
+        with self.timings.time("answer"):
+            groups: Dict[Tuple[int, ...], List[int]] = {}
+            for pos, query in enumerate(queries):
+                key = tuple(sorted(self.schema.index_of(p.attribute)
+                                   for p in query))
+                groups.setdefault(key, []).append(pos)
+            for key, positions in groups.items():
+                batch = [self._sorted_predicates(queries[pos])
+                         for pos in positions]
+                if len(key) == 1:
+                    values = self._answer_singles(
+                        key[0], [preds[0] for preds in batch])
+                elif len(key) == 2:
+                    values = self._pair_values(
+                        key[0], key[1], [preds[0] for preds in batch],
+                        [preds[1] for preds in batch])
+                else:
+                    values = self._answer_lambda_batch(key, batch)
+                out[positions] = np.clip(values, 0.0, 1.0)
+        return out
+
+    def answer_workload_loop(self, queries: Iterable[Query]) -> np.ndarray:
+        """Per-query reference path (what :meth:`answer_workload` batches)."""
         return np.array([self.answer(q) for q in queries])
+
+    def _sorted_predicates(self, query: Query) -> List[Predicate]:
+        """Predicates in schema-index order (conjunction order is free).
+
+        Canonicalizing the order makes answers independent of how the
+        query was written and lets the batched paths share pair tables
+        with the per-query path.
+        """
+        return sorted(query,
+                      key=lambda p: self.schema.index_of(p.attribute))
 
     def _indicator(self, predicate: Predicate) -> np.ndarray:
         domain = self.schema[predicate.attribute].domain_size
@@ -381,35 +545,129 @@ class Aggregator:
         marginal = self.marginal(t)
         return self._clamp(self._indicator(predicate) @ marginal)
 
-    def _answer_pair(self, pred_a: Predicate, pred_b: Predicate) -> float:
-        ta = self.schema.index_of(pred_a.attribute)
-        tb = self.schema.index_of(pred_b.attribute)
-        if ta > tb:
-            ta, tb = tb, ta
-            pred_a, pred_b = pred_b, pred_a
-        matrix = self.response_matrix(ta, tb)
-        value = self._indicator(pred_a) @ matrix @ self._indicator(pred_b)
-        return self._clamp(value)
+    def _answer_singles(self, t: int,
+                        predicates: List[Predicate]) -> np.ndarray:
+        """Batched 1-D answers on attribute ``t`` (one stacked matmul)."""
+        if (t,) in self._estimates:
+            estimate = self._estimates[(t,)]
+            weights = np.stack([
+                predicate_cell_weights(estimate.grid.binning, p,
+                                       estimate.grid.attribute)
+                for p in predicates])
+            return weights @ estimate.frequencies
+        marginal = self.marginal(t)
+        indicators = np.stack([self._indicator(p) for p in predicates])
+        return indicators @ marginal
+
+    def _range_bounds(self, predicates: List[Predicate]
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+        los = np.array([p.interval[0] for p in predicates], dtype=np.intp)
+        his = np.array([p.interval[1] for p in predicates], dtype=np.intp)
+        return los, his
+
+    def _pair_values(self, ti: int, tj: int, preds_i: List[Predicate],
+                     preds_j: List[Predicate]) -> np.ndarray:
+        """Batched 2-D rectangle masses for schema pair ``(ti, tj)``.
+
+        ``BETWEEN x BETWEEN`` queries hit the pair's summed-area table
+        when it is materialized (O(1) each); everything else falls back to
+        one stacked indicator matmul against the response matrix.
+        """
+        values = np.empty(len(preds_i))
+        sat = self._sats.get((ti, tj))
+        if sat is not None:
+            fast = np.fromiter((pi.is_range and pj.is_range
+                                for pi, pj in zip(preds_i, preds_j)),
+                               dtype=bool, count=len(preds_i))
+        else:
+            fast = np.zeros(len(preds_i), dtype=bool)
+        if fast.any():
+            picks = np.flatnonzero(fast)
+            r0, r1 = self._range_bounds([preds_i[q] for q in picks])
+            c0, c1 = self._range_bounds([preds_j[q] for q in picks])
+            values[picks] = sat.rectangle(r0, r1, c0, c1)
+        if not fast.all():
+            picks = np.flatnonzero(~fast)
+            matrix = self.response_matrix(ti, tj)
+            stack_i = np.stack([self._indicator(preds_i[q]) for q in picks])
+            stack_j = np.stack([self._indicator(preds_j[q]) for q in picks])
+            values[picks] = ((stack_i @ matrix) * stack_j).sum(axis=1)
+        return values
+
+    def _pair_tables(self, ti: int, tj: int, preds_i: List[Predicate],
+                     preds_j: List[Predicate]) -> np.ndarray:
+        """Batched 2x2 sign tables for schema pair ``(ti, tj)``.
+
+        Returns ``(Q, 2, 2)`` tables indexed ``[query, sign_i, sign_j]``,
+        via O(1) summed-area lookups for materialized ``BETWEEN`` pairs and
+        stacked indicator matmuls otherwise — identical numerics either
+        path is chosen per query, so loop and batch answers agree.
+        """
+        tables = np.empty((len(preds_i), 2, 2))
+        sat = self._sats.get((ti, tj))
+        if sat is not None:
+            fast = np.fromiter((pi.is_range and pj.is_range
+                                for pi, pj in zip(preds_i, preds_j)),
+                               dtype=bool, count=len(preds_i))
+        else:
+            fast = np.zeros(len(preds_i), dtype=bool)
+        if fast.any():
+            picks = np.flatnonzero(fast)
+            r0, r1 = self._range_bounds([preds_i[q] for q in picks])
+            c0, c1 = self._range_bounds([preds_j[q] for q in picks])
+            tables[picks] = sat.sign_tables(r0, r1, c0, c1)
+        if not fast.all():
+            picks = np.flatnonzero(~fast)
+            matrix = self.response_matrix(ti, tj)
+            stack_i = np.stack([self._indicator(preds_i[q]) for q in picks])
+            stack_j = np.stack([self._indicator(preds_j[q]) for q in picks])
+            tables[picks] = pair_answers_tables(matrix, stack_i, stack_j)
+        return tables
 
     def _answer_lambda(self, predicates: List[Predicate]) -> float:
+        """One λ ≥ 3 query: pairwise sign tables + Algorithm 4 IPF.
+
+        ``predicates`` arrive sorted by schema index, so every position
+        pair ``(a, b)`` maps to a schema pair ``(ta, tb)`` with
+        ``ta < tb`` — no table reorientation needed.
+        """
         indices = [self.schema.index_of(p.attribute) for p in predicates]
         pair_answers: Dict[Tuple[int, int], PairAnswers] = {}
-        for a in range(len(predicates)):
-            for b in range(a + 1, len(predicates)):
-                ta, tb = indices[a], indices[b]
-                pred_a, pred_b = predicates[a], predicates[b]
-                if ta > tb:
-                    ta, tb = tb, ta
-                    pred_a, pred_b = pred_b, pred_a
-                matrix = self.response_matrix(ta, tb)
-                answers = pair_answers_from_matrix(
-                    matrix, self._indicator(pred_a),
-                    self._indicator(pred_b))
-                if indices[a] > indices[b]:
-                    # Transpose the 2x2 table back to (a, b) order.
-                    answers = PairAnswers(pp=answers.pp, pn=answers.np_,
-                                          np_=answers.pn, nn=answers.nn)
-                pair_answers[(a, b)] = answers
-        return self._clamp(estimate_lambda_query(
+        for a, b in canonical_pairs(len(predicates)):
+            table = self._pair_tables(indices[a], indices[b],
+                                      [predicates[a]], [predicates[b]])[0]
+            pair_answers[(a, b)] = PairAnswers(
+                pp=float(table[1, 1]), pn=float(table[1, 0]),
+                np_=float(table[0, 1]), nn=float(table[0, 0]))
+        value, diag = fit_lambda_query(
             pair_answers, len(predicates), self.n,
-            max_iters=self.config.lambda_max_iters))
+            max_iters=self.config.lambda_max_iters)
+        self._record_lambda(diag.sweeps, diag.converged)
+        return self._clamp(value)
+
+    def _answer_lambda_batch(self, key: Tuple[int, ...],
+                             batch: List[List[Predicate]]) -> np.ndarray:
+        """Batched λ ≥ 3 answers for queries over attribute set ``key``.
+
+        Builds every pair's ``(Q, 2, 2)`` sign tables (summed-area fast
+        path where available), then runs one batched Algorithm 4 IPF over
+        all ``Q`` queries simultaneously.
+        """
+        pairs = canonical_pairs(len(key))
+        tables = np.empty((len(batch), len(pairs), 2, 2))
+        for p, (a, b) in enumerate(pairs):
+            tables[:, p] = self._pair_tables(
+                key[a], key[b], [preds[a] for preds in batch],
+                [preds[b] for preds in batch])
+        values, sweeps, converged = fit_lambda_queries(
+            tables, len(key), self.n,
+            max_iters=self.config.lambda_max_iters, pairs=pairs)
+        self._record_lambda(sweeps, converged)
+        if not converged.all():
+            behind = int((~converged).sum())
+            warnings.warn(
+                f"lambda-query batch (lambda={len(key)}): {behind} of "
+                f"{len(batch)} queries hit the sweep cap "
+                f"({self.config.lambda_max_iters})",
+                ConvergenceWarning, stacklevel=3)
+        return values

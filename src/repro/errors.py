@@ -56,3 +56,15 @@ class ConfigurationError(ReproError):
 
 class NotFittedError(ReproError):
     """An aggregator was queried before data collection ran."""
+
+
+class ConvergenceWarning(UserWarning):
+    """An iterative fit (Algorithm 3 / 4 IPF sweep) hit its iteration cap.
+
+    Emitted via :func:`warnings.warn` when a response-matrix or λ-D
+    estimate stops at ``max_iters`` with the sweep change still above the
+    ``1/n`` threshold. The estimate is still returned — non-convergence
+    bounds its residual, it does not invalidate it — but callers that care
+    can escalate the warning or inspect
+    :meth:`repro.core.Aggregator.fit_diagnostics`.
+    """

@@ -1,15 +1,35 @@
 """Estimation algorithms: response matrices and λ-D query combination."""
 
-from repro.estimation.response_matrix import build_response_matrix
+from repro.estimation.response_matrix import (
+    IPFDiagnostics,
+    build_response_matrix,
+    build_response_matrix_reference,
+    fit_response_matrix,
+)
 from repro.estimation.lambda_query import (
     PairAnswers,
+    canonical_pairs,
     estimate_lambda_query,
+    estimate_lambda_query_reference,
+    fit_lambda_queries,
+    fit_lambda_query,
     pair_answers_from_matrix,
+    pair_answers_tables,
 )
+from repro.estimation.engine import SummedAreaTable
 
 __all__ = [
+    "IPFDiagnostics",
+    "SummedAreaTable",
     "build_response_matrix",
+    "build_response_matrix_reference",
+    "fit_response_matrix",
     "PairAnswers",
+    "canonical_pairs",
     "pair_answers_from_matrix",
+    "pair_answers_tables",
     "estimate_lambda_query",
+    "estimate_lambda_query_reference",
+    "fit_lambda_query",
+    "fit_lambda_queries",
 ]

@@ -1,0 +1,97 @@
+"""Materialized answering structures: summed-area tables over matrices.
+
+Once a pair's response matrix is built, every ``BETWEEN x BETWEEN``
+rectangle query against it is a 2-D prefix-sum lookup: precomputing the
+summed-area table (inclusion–exclusion over four corners) turns each
+rectangle sum — and each full 2x2 sign table — into O(1) work regardless of
+the rectangle size, and whole workloads of rectangles into four fancy-indexed
+gathers. This is what :meth:`repro.core.Aggregator.materialize` caches per
+pair so large range workloads never touch the O(d_i · d_j) matrix again.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import EstimationError
+from repro.estimation.lambda_query import _renormalize_tables
+
+
+class SummedAreaTable:
+    """2-D prefix sums of a matrix with O(1) inclusive rectangle sums.
+
+    ``sat[r, c]`` holds the sum of ``matrix[:r, :c]``, so the mass of the
+    inclusive rectangle ``[r0, r1] x [c0, c1]`` is the classic four-corner
+    inclusion–exclusion. All lookups are vectorized: corner arrays of shape
+    ``(Q,)`` answer ``Q`` rectangles in four gathers.
+    """
+
+    def __init__(self, matrix: np.ndarray):
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise EstimationError(
+                f"summed-area table needs a 2-D matrix, got shape "
+                f"{matrix.shape}")
+        self.shape: Tuple[int, int] = matrix.shape
+        rows, cols = matrix.shape
+        sat = np.zeros((rows + 1, cols + 1))
+        np.cumsum(matrix, axis=0, out=sat[1:, 1:])
+        np.cumsum(sat[1:, 1:], axis=1, out=sat[1:, 1:])
+        self._sat = sat
+        #: total matrix mass (the all-domain rectangle)
+        self.total = float(sat[rows, cols])
+
+    def _check_bounds(self, r0, r1, c0, c1) -> None:
+        rows, cols = self.shape
+        if (np.any(r0 < 0) or np.any(r1 >= rows) or np.any(r0 > r1)
+                or np.any(c0 < 0) or np.any(c1 >= cols) or np.any(c0 > c1)):
+            raise EstimationError(
+                f"rectangle bounds outside matrix of shape {self.shape}")
+
+    def rectangle(self, r0, r1, c0, c1):
+        """Mass of inclusive rectangles ``[r0, r1] x [c0, c1]``.
+
+        Bounds may be scalars or equal-length integer arrays; the return
+        matches their broadcast shape.
+        """
+        r0 = np.asarray(r0, dtype=np.intp)
+        r1 = np.asarray(r1, dtype=np.intp)
+        c0 = np.asarray(c0, dtype=np.intp)
+        c1 = np.asarray(c1, dtype=np.intp)
+        self._check_bounds(r0, r1, c0, c1)
+        s = self._sat
+        return (s[r1 + 1, c1 + 1] - s[r0, c1 + 1]
+                - s[r1 + 1, c0] + s[r0, c0])
+
+    def row_band(self, r0, r1):
+        """Mass of full-width row bands ``[r0, r1]`` (vectorized)."""
+        return self.rectangle(r0, r1, 0, self.shape[1] - 1)
+
+    def col_band(self, c0, c1):
+        """Mass of full-height column bands ``[c0, c1]`` (vectorized)."""
+        return self.rectangle(0, self.shape[0] - 1, c0, c1)
+
+    def sign_tables(self, r0, r1, c0, c1) -> np.ndarray:
+        """All four sign-cell answers of ``Q`` rectangle pairs at once.
+
+        Returns ``(Q, 2, 2)`` tables indexed ``[query, row_sign,
+        col_sign]`` (1 = inside the band) — the O(1) counterpart of
+        :func:`repro.estimation.pair_answers_tables` for ``BETWEEN``
+        predicates, with the same clip-then-renormalize treatment.
+        """
+        pp = np.atleast_1d(self.rectangle(r0, r1, c0, c1))
+        row = np.atleast_1d(self.row_band(r0, r1))
+        col = np.atleast_1d(self.col_band(c0, c1))
+        pn = np.maximum(row - pp, 0.0)
+        np_ = np.maximum(col - pp, 0.0)
+        nn = np.maximum(self.total - row - col + pp, 0.0)
+        pp = np.maximum(pp, 0.0)
+        tables = np.stack([np.stack([nn, np_], axis=-1),
+                           np.stack([pn, pp], axis=-1)], axis=-2)
+        _renormalize_tables(tables, np.full(len(tables), self.total))
+        return tables
+
+    def __repr__(self) -> str:
+        return f"SummedAreaTable(shape={self.shape}, total={self.total:.6f})"

@@ -87,6 +87,10 @@ class RunResult:
     fit_seconds: float
     answer_seconds: float
     robustness: Dict[str, object] = field(default_factory=dict)
+    #: cumulative per-stage wall-clock seconds of the last fit's aggregator
+    #: (plan/collect/estimate/postprocess/materialize/answer); empty for
+    #: baselines without stage-timed aggregators.
+    timings: Dict[str, float] = field(default_factory=dict)
 
 
 def evaluate_strategy(name: str, dataset: Dataset,
@@ -124,7 +128,8 @@ def evaluate_strategy(name: str, dataset: Dataset,
                      mae=float(np.mean(maes)), estimates=last_estimates,
                      truths=truths, fit_seconds=fit_seconds / repeats,
                      answer_seconds=answer_seconds / repeats,
-                     robustness=_robustness_of(model))
+                     robustness=_robustness_of(model),
+                     timings=_timings_of(model))
 
 
 def _robustness_of(model) -> Dict[str, object]:
@@ -132,3 +137,10 @@ def _robustness_of(model) -> Dict[str, object]:
     aggregator = getattr(model, "aggregator", model)
     report = getattr(aggregator, "robustness_report", None)
     return report() if callable(report) else {}
+
+
+def _timings_of(model) -> Dict[str, float]:
+    """The fitted model's per-stage timings ({} for plain baselines)."""
+    aggregator = getattr(model, "aggregator", model)
+    timings = getattr(aggregator, "timings", None)
+    return timings.as_dict() if timings is not None else {}

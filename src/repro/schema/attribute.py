@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import SchemaError
 
 
@@ -98,6 +100,27 @@ class NumericalAttribute(Attribute):
             return float(code)
         width = (self.hi - self.lo) / self.domain_size
         return self.lo + (code + 0.5) * width
+
+    def decoded_values(self) -> np.ndarray:
+        """Decoded value of every code, as a read-only cached array.
+
+        Mean/variance estimation decodes the whole domain on every call;
+        caching the vector once per attribute makes those loops a single
+        dot product. The dataclass is frozen, so the cache can never go
+        stale — it is stored via ``object.__setattr__`` and marked
+        read-only to keep the frozen contract.
+        """
+        cached = self.__dict__.get("_decoded_values")
+        if cached is None:
+            if self.lo is None:
+                cached = np.arange(self.domain_size, dtype=np.float64)
+            else:
+                width = (self.hi - self.lo) / self.domain_size
+                cached = (self.lo
+                          + (np.arange(self.domain_size) + 0.5) * width)
+            cached.setflags(write=False)
+            object.__setattr__(self, "_decoded_values", cached)
+        return cached
 
 
 @dataclass(frozen=True)

@@ -14,9 +14,14 @@ from hypothesis import strategies as st
 from repro.estimation import (
     PairAnswers,
     build_response_matrix,
+    build_response_matrix_reference,
+    canonical_pairs,
     estimate_lambda_query,
+    estimate_lambda_query_reference,
+    fit_lambda_queries,
 )
 from repro.grids import Binning, Grid2D, GridEstimate
+from repro.grids.grid import Grid1D
 from repro.schema.attribute import numerical
 
 
@@ -102,3 +107,73 @@ class TestLambdaQueryProperties:
         estimate = estimate_lambda_query(answers, dimension, n=10**7,
                                          max_iters=500)
         assert estimate == pytest.approx(prob ** dimension, abs=5e-3)
+
+
+class TestVectorizedMatchesReference:
+    """The fused kernels must reproduce the retained reference loops.
+
+    The vectorized Algorithm 3 sweep applies every constraint of one grid
+    simultaneously; the reference applies them one by one. The two are
+    equal (not just close) because one grid's cells partition the matrix —
+    no entry is touched twice within a grid — so only float round-off of
+    the block sums separates the paths. Same argument for the four sign
+    blocks of one pair in Algorithm 4.
+    """
+
+    @given(grid_shapes, st.booleans(), st.booleans(),
+           st.randoms(use_true_random=False))
+    @settings(max_examples=25, deadline=None)
+    @pytest.mark.filterwarnings("ignore::repro.errors.ConvergenceWarning")
+    def test_response_matrix_matches_reference(self, shape, with_1d,
+                                               with_prior, random):
+        di, dj, lx, ly = shape
+        rng = np.random.default_rng(random.randint(0, 2**31))
+        related = [_random_grid_estimate(
+            di, dj, lx, ly, rng.dirichlet(np.ones(lx * ly)))]
+        if with_1d:
+            cells = int(rng.integers(1, di + 1))
+            grid = Grid1D(0, numerical("x", di), Binning(di, cells))
+            related.append(GridEstimate(
+                grid=grid, frequencies=rng.dirichlet(np.ones(cells))))
+        prior = (rng.dirichlet(np.ones(di * dj)).reshape(di, dj)
+                 if with_prior else None)
+        vectorized = build_response_matrix(related, 0, 1, di, dj,
+                                           n=10_000, max_iters=60,
+                                           prior=prior)
+        reference = build_response_matrix_reference(related, 0, 1, di, dj,
+                                                    n=10_000, max_iters=60,
+                                                    prior=prior)
+        np.testing.assert_allclose(vectorized, reference, rtol=0,
+                                   atol=1e-12)
+
+    @given(st.integers(2, 6), st.randoms(use_true_random=False))
+    @settings(max_examples=30, deadline=None)
+    def test_lambda_estimate_matches_reference(self, dimension, random):
+        rng = np.random.default_rng(random.randint(0, 2**31))
+        answers = _pair_answers_from_probs(rng, dimension)
+        vectorized = estimate_lambda_query(answers, dimension, n=10**6,
+                                           max_iters=300)
+        reference = estimate_lambda_query_reference(answers, dimension,
+                                                    n=10**6, max_iters=300)
+        assert abs(vectorized - reference) < 1e-12
+
+    @given(st.integers(2, 5), st.integers(1, 6),
+           st.randoms(use_true_random=False))
+    @settings(max_examples=20, deadline=None)
+    def test_batched_lambda_matches_reference(self, dimension, batch,
+                                              random):
+        rng = np.random.default_rng(random.randint(0, 2**31))
+        answer_sets = [_pair_answers_from_probs(rng, dimension)
+                       for _ in range(batch)]
+        pairs = canonical_pairs(dimension)
+        tables = np.stack([
+            np.stack([answers[p].as_table() for p in pairs])
+            for answers in answer_sets])
+        estimates, sweeps, converged = fit_lambda_queries(
+            tables, dimension, n=10**6, max_iters=300)
+        assert estimates.shape == sweeps.shape == converged.shape == (
+            batch,)
+        for q, answers in enumerate(answer_sets):
+            reference = estimate_lambda_query_reference(
+                answers, dimension, n=10**6, max_iters=300)
+            assert abs(estimates[q] - reference) < 1e-12

@@ -27,6 +27,30 @@ def _pairs_from_joint(joint: np.ndarray) -> dict:
     return answers
 
 
+class TestClipRenormalization:
+    def test_clipped_table_renormalizes_to_matrix_total(self):
+        # Post-processing can leave tiny negative matrix entries; clipping
+        # the derived sign cells at 0 used to push the 2x2 table total
+        # above the matrix mass (here 1.1 vs 1.0), feeding Algorithm 4 an
+        # infeasible margin. The table must be rescaled back to the total.
+        matrix = np.array([[0.6, -0.1], [0.5, 0.0]])
+        ind = np.array([1.0, 0.0])
+        ans = pair_answers_from_matrix(matrix, ind, ind)
+        total = ans.pp + ans.pn + ans.np_ + ans.nn
+        assert total == pytest.approx(matrix.sum())
+        assert min(ans.pp, ans.pn, ans.np_, ans.nn) >= 0.0
+        assert ans.pp == pytest.approx(0.6 / 1.1)
+        assert ans.np_ == pytest.approx(0.5 / 1.1)
+
+    def test_clean_matrix_tables_untouched(self):
+        rng = np.random.default_rng(7)
+        matrix = rng.dirichlet(np.ones(20)).reshape(4, 5)
+        ind_i = np.array([1.0, 1.0, 0.0, 0.0])
+        ind_j = np.array([0.0, 1.0, 0.0, 1.0, 0.0])
+        ans = pair_answers_from_matrix(matrix, ind_i, ind_j)
+        assert ans.pp == pytest.approx(ind_i @ matrix @ ind_j)
+
+
 class TestPairAnswersFromMatrix:
     def test_four_quadrants_sum_to_total(self):
         rng = np.random.default_rng(0)
