@@ -3,13 +3,18 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test test-faults bench-kernels bench-pipeline bench-answers \
+.PHONY: test test-faults lint bench-kernels bench-pipeline bench-answers \
 	bench-figures
 
 # Tier-1: the gate every PR must keep green. Includes the fault suites
 # (they collect by default; `test-faults` runs just that slice).
 test:
 	$(PY) -m pytest -x -q
+
+# Static checks: no string-literal protocol dispatch outside the
+# registry (also collected by the default pytest run).
+lint:
+	$(PY) -m pytest tests/test_registry_lint.py -q
 
 # Robustness slice: failure-injection + chaos tests only.
 test-faults:

@@ -57,6 +57,7 @@ from repro.core.parallel import (
 from repro.core.planner import PlannedGrid
 from repro.errors import ProtocolError
 from repro.fo.adaptive import make_oracle
+from repro.fo.registry import get as protocol_spec
 from repro.robustness.policy import (
     IngestPolicy,
     IngestStats,
@@ -110,12 +111,12 @@ def collect_reports_serial(records: np.ndarray, assignment: np.ndarray,
             reports.append(GroupReport(planned=planned, report=None,
                                        group_size=len(rows)))
             continue
-        if planned.protocol == "ahead":
+        fit = protocol_spec(planned.protocol).interactive_fit
+        if fit is not None:
             reports.append(GroupReport(
                 planned=planned,
-                report=_fit_ahead(planned,
-                                  rows[:, planned.grid.attr_index],
-                                  epsilon, group_rngs[g]),
+                report=fit(planned, rows[:, planned.grid.attr_index],
+                           epsilon, group_rngs[g]),
                 group_size=len(rows)))
             continue
         values = planned.grid.encode(rows)
@@ -179,11 +180,12 @@ def collect_reports(records: np.ndarray, assignment: np.ndarray,
         group_sizes.append(len(indices))
         if len(indices) == 0 or planned.num_cells < 2:
             continue
-        if planned.protocol == "ahead":
-            # AHEAD consumes its whole group interactively; one shard.
+        fit = protocol_spec(planned.protocol).interactive_fit
+        if fit is not None:
+            # Interactive backends consume their whole group; one shard.
             column = records[:, planned.grid.attr_index][indices]
-            tasks.append(_ahead_task(planned, column, epsilon,
-                                     group_rngs[g]))
+            tasks.append(_interactive_task(fit, planned, column, epsilon,
+                                           group_rngs[g]))
             task_group.append(g)
             task_spec.append(None)
             continue
@@ -234,26 +236,19 @@ def _shard_task(planned: PlannedGrid, oracle, columns: List[np.ndarray],
     return run
 
 
-def _ahead_task(planned: PlannedGrid, column: np.ndarray, epsilon: float,
-                rng) -> Callable[[], Any]:
+def _interactive_task(fit, planned: PlannedGrid, column: np.ndarray,
+                      epsilon: float, rng) -> Callable[[], Any]:
+    """Shard closure for an interactive (whole-group) backend's fit.
+
+    Same state-snapshot contract as :func:`_shard_task`: retries replay
+    the exact RNG stream of the failed attempt.
+    """
     state = rng.bit_generator.state
 
     def run():
         rng.bit_generator.state = state
-        return _fit_ahead(planned, column, epsilon, rng)
+        return fit(planned, column, epsilon, rng)
     return run
-
-
-def _fit_ahead(planned: PlannedGrid, column: np.ndarray, epsilon: float,
-               rng) -> Any:
-    """Run the AHEAD adaptive decomposition on one group's column.
-
-    The group's users are partitioned across AHEAD's tree-building rounds
-    internally; each still submits exactly one ε-LDP report.
-    """
-    from repro.baselines.ahead import Ahead1D  # local: avoids an import cycle
-    model = Ahead1D(planned.grid.attribute.domain_size, epsilon)
-    return model.fit(column, rng)
 
 
 def collect_reports_budget_split(records: np.ndarray,
@@ -276,13 +271,17 @@ def collect_reports_budget_split(records: np.ndarray,
     """
     if not planned_grids:
         raise ProtocolError("no grids planned")
-    unsplittable = [p.key for p in planned_grids if p.protocol == "ahead"]
+    unsplittable = [p for p in planned_grids
+                    if not protocol_spec(p.protocol).budget_splittable]
     if unsplittable:
+        names = ", ".join(sorted({p.protocol.upper()
+                                  for p in unsplittable}))
         raise ProtocolError(
-            f"grids {unsplittable} use the AHEAD protocol, which cannot "
-            f"run under budget splitting (its adaptive refinement needs "
-            f"each group's full per-user budget); use "
-            f"partition_mode='users' or one_d_protocol in (None, 'sw')")
+            f"grids {[p.key for p in unsplittable]} use the {names} "
+            f"protocol, which cannot run under budget splitting (its "
+            f"adaptive refinement needs each group's full per-user "
+            f"budget); use partition_mode='users' or a budget-splittable "
+            f"backend")
     epsilon_each = epsilon / len(planned_grids)
     grid_rngs = spawn(ensure_rng(rng), len(planned_grids))
 

@@ -21,11 +21,15 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.fo.registry import (
+    get as protocol_spec,
+    one_d_protocol_names,
+    pinnable_protocol_names,
+)
 from repro.robustness.detect import validate_detector_names
-from repro.robustness.policy import INGEST_MODES
+from repro.robustness.ingest import INGEST_MODES
 
 _STRATEGIES = ("oug", "ohg")
-_KNOWN_PROTOCOLS = ("grr", "olh", "oue", "sue", "she", "the")
 _PARTITION_MODES = ("users", "budget")
 
 
@@ -139,18 +143,22 @@ class FelipConfig:
             raise ConfigurationError(
                 f"partition_mode must be one of {_PARTITION_MODES}, "
                 f"got {self.partition_mode!r}")
-        if self.one_d_protocol not in (None, "sw", "ahead"):
-            raise ConfigurationError(
-                f"one_d_protocol must be None, 'sw' or 'ahead', "
-                f"got {self.one_d_protocol!r}")
-        if self.partition_mode == "budget" and self.one_d_protocol == \
-                "ahead":
-            raise ConfigurationError(
-                "partition_mode='budget' cannot be combined with "
-                "one_d_protocol='ahead': AHEAD's adaptive refinement "
-                "needs each group's full per-user budget and cannot "
-                "report every grid with epsilon/m; use "
-                "partition_mode='users', or one_d_protocol=None or 'sw'")
+        if self.one_d_protocol is not None:
+            spec = protocol_spec(self.one_d_protocol)
+            if not spec.one_d_only:
+                raise ConfigurationError(
+                    f"one_d_protocol must be None or one of "
+                    f"{list(one_d_protocol_names())}, "
+                    f"got {self.one_d_protocol!r}")
+            if self.partition_mode == "budget" and \
+                    not spec.budget_splittable:
+                raise ConfigurationError(
+                    f"partition_mode='budget' cannot be combined with "
+                    f"one_d_protocol={self.one_d_protocol!r}: its "
+                    f"adaptive refinement needs each group's full "
+                    f"per-user budget and cannot report every grid with "
+                    f"epsilon/m; use partition_mode='users' or a "
+                    f"budget-splittable 1-D backend")
         if self.workers < 0:
             raise ConfigurationError(
                 f"workers must be >= 0 (0 = one per CPU), got "
@@ -167,11 +175,13 @@ class FelipConfig:
                 f"got {self.strategy!r}")
         if not self.protocols:
             raise ConfigurationError("need at least one candidate protocol")
-        unknown = [p for p in self.protocols if p not in _KNOWN_PROTOCOLS]
+        known = pinnable_protocol_names()
+        unknown = [p for p in self.protocols if p not in known]
         if unknown:
             raise ConfigurationError(
-                f"unknown protocols {unknown}; expected subset of "
-                f"{_KNOWN_PROTOCOLS}")
+                f"unknown protocols {unknown}; expected a subset of the "
+                f"registered pinnable protocols {list(known)} (1-D-only "
+                f"backends are selected via one_d_protocol)")
         if not 0.0 < self.expected_selectivity <= 1.0:
             raise ConfigurationError(
                 f"expected_selectivity must be in (0, 1], got "

@@ -1,113 +1,55 @@
 """Report merging shared by the batch, budget-split, and streaming paths.
 
-Every frequency-oracle report type is an associative monoid under
-concatenation of the underlying user batches: merging the reports of two
-disjoint user sets yields exactly the report the oracle would have produced
-for the union (GRR/OLH store per-user values, so merge is concatenation;
-OUE/SUE/SHE/THE/SW store sufficient statistics, so merge is addition).
-That associativity is what lets the sharded collection executor perturb
-``(group, chunk)`` shards independently and reduce them in any grouping,
-and what lets :class:`~repro.core.streaming.StreamingCollector` accumulate
-batches over time — all three paths reduce through :func:`merge_reports`.
+Every mergeable frequency-oracle report type is an associative monoid
+under concatenation of the underlying user batches: merging the reports
+of two disjoint user sets yields exactly the report the oracle would have
+produced for the union (per-user-row types concatenate; sufficient-
+statistic types add). That associativity is what lets the sharded
+collection executor perturb ``(group, chunk)`` shards independently and
+reduce them in any grouping, and what lets
+:class:`~repro.core.streaming.StreamingCollector` accumulate batches over
+time — all three paths reduce through :func:`merge_reports`.
 
-AHEAD is the one collection backend with no mergeable report: its adaptive
-tree refinement consumes the whole group interactively, so configurations
-that need mergeability (streaming, chunked sharding) must reject it up
-front via :func:`mergeable_protocol`.
+Which report types merge, and how, is the protocol registry's knowledge
+(:mod:`repro.fo.registry`): each :class:`~repro.fo.registry.ProtocolSpec`
+carries its report type and merge monoid, and this module dispatches on
+them. Protocols flagged unmergeable (AHEAD's interactive tree refinement
+consumes its whole group at once) must be rejected up front by
+configurations that need mergeability — use :func:`mergeable_protocol`.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
-
-import numpy as np
+from typing import List, Optional
 
 from repro.errors import ProtocolError
-from repro.fo.grr import GRRReport
-from repro.fo.he import SHEReport, THEReport
-from repro.fo.olh import OLHReport
-from repro.fo.oue import OUEReport
-from repro.fo.square_wave import SWReport
+from repro.fo.registry import (
+    ADAPTIVE,
+    mergeable_protocol_names,
+    registered_names,
+    spec_for_report,
+)
 
-#: protocol names whose reports :func:`merge_reports` can combine.
-#: ``adaptive`` resolves to grr/olh at planning time, so planned grids
-#: only ever carry the concrete names below (plus the unmergeable
-#: ``ahead``).
-MERGEABLE_PROTOCOLS = frozenset(
-    {"grr", "olh", "oue", "sue", "she", "the", "sw", "adaptive"})
+
+def __getattr__(name: str):
+    # MERGEABLE_PROTOCOLS is derived from the live registry (a protocol
+    # registered after this module was imported still shows up), hence a
+    # module __getattr__ rather than a frozen module constant.
+    if name == "MERGEABLE_PROTOCOLS":
+        return frozenset(mergeable_protocol_names()) | {ADAPTIVE}
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def mergeable_protocol(protocol: str) -> bool:
-    """True when ``protocol`` produces reports that can be merged."""
-    return protocol in MERGEABLE_PROTOCOLS
+    """True when ``protocol`` produces reports that can be merged.
 
-
-def _merge_grr(reports: Sequence[GRRReport]) -> GRRReport:
-    first = reports[0]
-    if any(r.domain_size != first.domain_size for r in reports):
-        raise ProtocolError("cannot merge GRR reports across domains")
-    return GRRReport(
-        values=np.concatenate([r.values for r in reports]),
-        domain_size=first.domain_size)
-
-
-def _merge_olh(reports: Sequence[OLHReport]) -> OLHReport:
-    first = reports[0]
-    if any(r.hash_range != first.hash_range
-           or r.domain_size != first.domain_size for r in reports):
-        raise ProtocolError("cannot merge OLH reports across configs")
-    return OLHReport(
-        seeds=np.concatenate([r.seeds for r in reports]),
-        buckets=np.concatenate([r.buckets for r in reports]),
-        hash_range=first.hash_range, domain_size=first.domain_size)
-
-
-def _merge_oue(reports: Sequence[OUEReport]) -> OUEReport:
-    first = reports[0]
-    if any(len(r.ones) != len(first.ones) for r in reports):
-        raise ProtocolError("cannot merge OUE reports across domains")
-    return OUEReport(ones=sum(r.ones for r in reports),
-                     n=sum(r.n for r in reports))
-
-
-def _merge_she(reports: Sequence[SHEReport]) -> SHEReport:
-    first = reports[0]
-    if any(len(r.sums) != len(first.sums) for r in reports):
-        raise ProtocolError("cannot merge SHE reports across domains")
-    return SHEReport(sums=sum(r.sums for r in reports),
-                     n=sum(r.n for r in reports))
-
-
-def _merge_the(reports: Sequence[THEReport]) -> THEReport:
-    first = reports[0]
-    if any(len(r.supports) != len(first.supports)
-           or abs(r.threshold - first.threshold) > 1e-12
-           for r in reports):
-        raise ProtocolError("cannot merge THE reports across configs")
-    return THEReport(supports=sum(r.supports for r in reports),
-                     n=sum(r.n for r in reports),
-                     threshold=first.threshold)
-
-
-def _merge_sw(reports: Sequence[SWReport]) -> SWReport:
-    first = reports[0]
-    if any(len(r.counts) != len(first.counts)
-           or abs(r.wave_width - first.wave_width) > 1e-12
-           for r in reports):
-        raise ProtocolError("cannot merge SW reports across configs")
-    return SWReport(counts=sum(r.counts for r in reports),
-                    n=sum(r.n for r in reports),
-                    wave_width=first.wave_width)
-
-
-_MERGERS = {
-    GRRReport: _merge_grr,
-    OLHReport: _merge_olh,
-    OUEReport: _merge_oue,  # SUE perturbs into OUEReport as well
-    SHEReport: _merge_she,
-    THEReport: _merge_the,
-    SWReport: _merge_sw,
-}
+    ``adaptive`` resolves to a concrete (always mergeable) candidate at
+    planning time, so it counts as mergeable; unregistered names do not.
+    """
+    if protocol == ADAPTIVE:
+        return True
+    return (protocol in registered_names()
+            and protocol in mergeable_protocol_names())
 
 
 def merge_reports(reports: List[object], *, policy=None, stats=None,
@@ -115,9 +57,10 @@ def merge_reports(reports: List[object], *, policy=None, stats=None,
     """Combine report batches of the same protocol and parameters.
 
     The merge is associative and order-insensitive up to report-internal
-    ordering (GRR/OLH concatenate per-user arrays in the order given;
-    every estimator downstream is permutation-invariant). Returns ``None``
-    for an empty list, so accumulators need no empty-group special case.
+    ordering (per-user-row types concatenate their arrays in the order
+    given; every estimator downstream is permutation-invariant). Returns
+    ``None`` for an empty list, so accumulators need no empty-group
+    special case.
 
     When ``policy`` (a :class:`repro.robustness.IngestPolicy`) is given,
     every report is sanitized before merging — invalid rows or infeasible
@@ -138,13 +81,19 @@ def merge_reports(reports: List[object], *, policy=None, stats=None,
         # Identity merge — valid for any report, including single-shard
         # unmergeable backends (a fitted AHEAD model).
         return first
-    merger = _MERGERS.get(type(first))
-    if merger is None:
+    spec = spec_for_report(type(first))
+    if spec is None or spec.merger is None:
         raise ProtocolError(
             f"unsupported report type {type(first).__name__}; mergeable "
-            f"types: {sorted(c.__name__ for c in _MERGERS)}")
+            f"types: {sorted(t.__name__ for t in _mergeable_types())}")
     if any(type(r) is not type(first) for r in reports):
         raise ProtocolError(
             f"cannot merge mixed report types "
             f"{sorted({type(r).__name__ for r in reports})}")
-    return merger(reports)
+    return spec.merger(reports)
+
+
+def _mergeable_types():
+    from repro.fo.registry import all_specs
+    return {s.report_type for s in all_specs()
+            if s.report_type is not None and s.merger is not None}

@@ -111,18 +111,15 @@ def plan_grids(schema: Schema, config: FelipConfig, n: int) -> \
     for t in one_d_attrs:
         attr = schema[t]
         r = config.selectivity_for(attr.name)
-        if config.one_d_protocol == "sw":
-            # SW extension: full-resolution refinement reconstructed by
-            # EM/EMS instead of a coarse binned histogram.
-            planning = GridPlanning(
-                lx=attr.domain_size, ly=None, protocol="sw",
-                predicted_error=float("nan"))
-        elif config.one_d_protocol == "ahead":
-            # AHEAD extension: the binning is decided adaptively at
-            # collection time; the planned grid is a placeholder whose
+        if config.one_d_protocol is not None:
+            # 1-D backend extensions (sw, ahead, ...) run over the full
+            # value domain: either reconstructed at full resolution
+            # (EM/EMS) or with a binning decided adaptively at collection
+            # time, in which case the planned grid is a placeholder whose
             # cell structure the aggregator replaces after fitting.
             planning = GridPlanning(
-                lx=attr.domain_size, ly=None, protocol="ahead",
+                lx=attr.domain_size, ly=None,
+                protocol=config.one_d_protocol,
                 predicted_error=float("nan"))
         elif shared is not None:
             cells = min(shared[0], attr.domain_size)

@@ -47,7 +47,7 @@ from repro.estimation.response_matrix import (
     fit_response_matrix,
 )
 from repro.fo.adaptive import make_oracle
-from repro.fo.variance import grr_variance, olh_variance
+from repro.fo.registry import get as protocol_spec
 from repro.grids.grid import GridEstimate, predicate_cell_weights
 from repro.postprocess.pipeline import postprocess_grids
 from repro.queries.predicate import Predicate
@@ -183,12 +183,10 @@ class Aggregator:
             return {p.key: p.cell_variance for p in self.plans}
         variances = {}
         for plan in self.plans:
-            if plan.protocol == "grr":
-                var = grr_variance(self._report_epsilon,
-                                   max(plan.num_cells, 2), max(self.n, 1))
-            else:
-                var = olh_variance(self._report_epsilon, max(self.n, 1))
-            variances[plan.key] = var
+            spec = protocol_spec(plan.protocol)
+            variances[plan.key] = spec.analytic_variance(
+                self._report_epsilon, max(plan.num_cells, 2),
+                max(self.n, 1))
         return variances
 
     def _estimate_group(self, group: GroupReport) -> GridEstimate:
@@ -198,34 +196,15 @@ class Aggregator:
             # prior (single-cell grids have exact frequency [1.0]).
             freqs = np.full(planned.num_cells, 1.0 / planned.num_cells)
             return GridEstimate(grid=planned.grid, frequencies=freqs)
-        if planned.protocol == "ahead":
-            return self._estimate_ahead_group(group)
+        estimator = protocol_spec(planned.protocol).grid_estimator
+        if estimator is not None:
+            # Interactive backends estimate from their fitted model (and
+            # may replace the placeholder grid with a data-adaptive one).
+            return estimator(group)
         oracle = make_oracle(planned.protocol, self._report_epsilon,
                              planned.num_cells)
         return GridEstimate(grid=planned.grid,
                             frequencies=oracle.estimate(group.report))
-
-    @staticmethod
-    def _estimate_ahead_group(group: GroupReport) -> GridEstimate:
-        """Turn a fitted AHEAD model into a (data-adaptively binned) grid.
-
-        The planned placeholder grid is replaced by one whose binning is
-        the model's final frontier — finer cells where the data is — and
-        whose frequencies are the frontier estimates. Downstream stages
-        (consistency, response matrices) already handle arbitrary
-        contiguous binnings.
-        """
-        from repro.grids.binning import Binning
-        from repro.grids.grid import Grid1D
-        model = group.report
-        intervals = model.frontier
-        edges = np.array([iv.lo for iv in intervals]
-                         + [intervals[-1].hi + 1], dtype=np.int64)
-        binning = Binning.from_edges(edges)
-        grid = Grid1D(group.planned.grid.attr_index,
-                      group.planned.grid.attribute, binning)
-        freqs = np.array([iv.frequency for iv in intervals])
-        return GridEstimate(grid=grid, frequencies=freqs)
 
     # -- robustness --------------------------------------------------------------
 

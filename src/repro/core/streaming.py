@@ -9,10 +9,10 @@ more users arrive. Each user still reports exactly once, so the privacy
 guarantee is unchanged.
 
 Cross-batch accumulation rides on :func:`repro.core.merge.merge_reports`
-(shared with the sharded batch executor), so any protocol whose reports
-merge — all of grr/olh/oue/sue/she/the/sw — streams; configurations that
-cannot (AHEAD's interactive refinement) are rejected at construction, not
-at :meth:`StreamingCollector.finalize`.
+(shared with the sharded batch executor), so any protocol whose registry
+spec is flagged ``streamable`` — every built-in except AHEAD — streams;
+configurations that cannot (AHEAD's interactive refinement) are rejected
+at construction, not at :meth:`StreamingCollector.finalize`.
 
 Streams are the natural untrusted-ingestion surface — reports arrive from
 clients over time — so every report is admitted through the configured
@@ -38,6 +38,7 @@ from repro.core.planner import PlannedGrid, plan_grids
 from repro.core.server import Aggregator
 from repro.errors import ConfigurationError, ProtocolError
 from repro.fo.adaptive import make_oracle
+from repro.fo.registry import get as protocol_spec
 from repro.rng import RngLike, ensure_rng, spawn
 from repro.robustness.policy import (
     IngestPolicy,
@@ -84,10 +85,12 @@ class StreamingCollector:
         if config.partition_mode != "users":
             raise ConfigurationError(
                 "streaming collection requires partition_mode='users'")
-        if config.one_d_protocol == "ahead":
+        if config.one_d_protocol is not None and \
+                not protocol_spec(config.one_d_protocol).streamable:
             raise ConfigurationError(
-                "the AHEAD adaptive refinement needs the whole group at "
-                "once and cannot run over a stream; use 'sw' or None")
+                f"one_d_protocol={config.one_d_protocol!r} needs the "
+                f"whole group at once and cannot run over a stream; use "
+                f"a streamable 1-D backend or None")
         self.schema = schema
         self.config = config
         self.plans: List[PlannedGrid] = plan_grids(schema, config,

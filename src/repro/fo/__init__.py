@@ -2,9 +2,13 @@
 
 A frequency oracle (FO) is a pair of algorithms (paper, Section 2.2): a
 client-side randomizer Ψ and a server-side estimator Φ. This package
-implements GRR and OLH (the two protocols FELIP adaptively selects between),
-OUE as an extension, the analytic variance formulas that drive grid sizing,
-and the adaptive chooser itself.
+implements GRR and OLH (the two protocols FELIP adaptively selects
+between) plus the OUE/SUE/SHE/THE unary-and-histogram encodings, Square
+Wave, Hadamard Response, and the AHEAD adaptive refinement as extensions;
+the analytic variance formulas that drive grid sizing; the adaptive
+chooser; and the protocol registry (:mod:`repro.fo.registry`) through
+which every other layer — planning, collection, merging, streaming,
+robustness ingestion — dispatches on a protocol by name or report type.
 """
 
 from repro.fo.base import FrequencyOracle
@@ -17,7 +21,17 @@ from repro.fo.he import (
     SummationHistogramEncoding,
     ThresholdHistogramEncoding,
 )
+# The registry imports every built-in protocol module above; protocol
+# modules that self-register (hr) and layers that consume the registry
+# (adaptive) come after it.
+from repro.fo.registry import (
+    ProtocolSpec,
+    all_specs,
+    register,
+    registered_names,
+)
 from repro.fo.adaptive import choose_protocol, make_oracle
+from repro.fo.hr import HadamardResponse, hr_variance
 from repro.fo.hashing import (
     DEFAULT_TILE_BYTES,
     chain_hash,
@@ -39,11 +53,17 @@ __all__ = [
     "SummationHistogramEncoding",
     "ThresholdHistogramEncoding",
     "SquareWave",
+    "HadamardResponse",
     "optimal_wave_width",
+    "ProtocolSpec",
+    "register",
+    "registered_names",
+    "all_specs",
     "choose_protocol",
     "make_oracle",
     "grr_variance",
     "olh_variance",
     "oue_variance",
     "sue_variance",
+    "hr_variance",
 ]

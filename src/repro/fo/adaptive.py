@@ -1,60 +1,55 @@
 """Adaptive frequency oracle (paper, Section 5.3).
 
-For a grid with ``L`` cells, AFO reports with whichever of GRR / OLH has the
-lower variance (paper Eq. 13):
+For a grid with ``L`` cells, AFO reports with whichever registered
+adaptive-candidate protocol has the lower analytic variance. With the
+built-in GRR/OLH pair this is exactly the paper's Eq. 13:
 
     Var[Φ_AFO] = min( (e^ε + L − 2), 4 e^ε ) / (e^ε − 1)² · m/n
 
-GRR's variance grows linearly in ``L`` while OLH's is constant, so GRR wins
-exactly when ``L − 2 ≤ 3 e^ε`` — small grids and/or generous budgets.
+GRR's variance grows linearly in ``L`` while OLH's is constant, so GRR
+wins exactly when ``L − 2 ≤ 3 e^ε`` — small grids and/or generous
+budgets. Further candidates (e.g. Hadamard Response) enter the
+comparison by registering a spec with ``adaptive_candidate=True``; a
+candidate only displaces an earlier-registered one by *strictly* lower
+variance, which preserves Eq. 13's tie-break toward GRR.
 """
 
 from __future__ import annotations
 
-from typing import Union
+import math
 
 from repro.errors import ConfigurationError
 from repro.fo.base import FrequencyOracle
-from repro.fo.grr import GeneralizedRandomizedResponse
-from repro.fo.he import (
-    SummationHistogramEncoding,
-    ThresholdHistogramEncoding,
-)
-from repro.fo.olh import OptimizedLocalHashing
-from repro.fo.oue import OptimizedUnaryEncoding
-from repro.fo.square_wave import SquareWave
-from repro.fo.sue import SymmetricUnaryEncoding
-from repro.fo.variance import grr_beats_olh
-
-_PROTOCOLS = {
-    "grr": GeneralizedRandomizedResponse,
-    "olh": OptimizedLocalHashing,
-    "oue": OptimizedUnaryEncoding,
-    "sue": SymmetricUnaryEncoding,
-    "she": SummationHistogramEncoding,
-    "the": ThresholdHistogramEncoding,
-    "sw": SquareWave,
-}
+from repro.fo.registry import ADAPTIVE, adaptive_candidates, get
 
 
 def choose_protocol(epsilon: float, domain_size: int) -> str:
-    """Eq. 13: the lower-variance protocol name for this (ε, L)."""
-    return "grr" if grr_beats_olh(epsilon, domain_size) else "olh"
+    """The lowest-variance adaptive-candidate protocol for this (ε, L)."""
+    best_name, best_variance = None, math.inf
+    for spec in adaptive_candidates():
+        variance = spec.analytic_variance(epsilon, domain_size, 1)
+        if variance < best_variance:
+            best_name, best_variance = spec.name, variance
+    if best_name is None:
+        raise ConfigurationError(
+            "no adaptive-candidate protocol is registered")
+    return best_name
 
 
 def make_oracle(protocol: str, epsilon: float,
                 domain_size: int) -> FrequencyOracle:
-    """Instantiate an oracle by name (``grr`` / ``olh`` / ``oue``).
+    """Instantiate a registered oracle by name.
 
+    Any registered protocol with a client-side oracle works (see
+    :func:`repro.fo.registry.registered_names` for the current set);
     ``protocol="adaptive"`` applies :func:`choose_protocol` first.
     """
-    if protocol == "adaptive":
+    if protocol == ADAPTIVE:
         protocol = choose_protocol(epsilon, domain_size)
-    try:
-        cls = _PROTOCOLS[protocol]
-    except KeyError:
+    spec = get(protocol)
+    if spec.factory is None:
         raise ConfigurationError(
-            f"unknown protocol {protocol!r}; expected one of "
-            f"{sorted(_PROTOCOLS)} or 'adaptive'"
-        ) from None
-    return cls(epsilon, domain_size)
+            f"protocol {protocol!r} has no standalone client-side oracle; "
+            f"it collects through its interactive fitting path and cannot "
+            f"be instantiated with make_oracle()")
+    return spec.factory(epsilon, domain_size)

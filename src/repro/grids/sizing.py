@@ -22,14 +22,13 @@ from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, GridError
+from repro.fo.registry import adaptive_candidates, get as protocol_spec
 from repro.grids.solvers import (
     bisect_increasing_root,
     coordinate_descent,
     refine_integer_1d,
     refine_integer_2d,
 )
-
-_PROTOCOLS = ("grr", "olh")
 
 
 @dataclass(frozen=True)
@@ -82,30 +81,25 @@ class SizingParams:
     def cell_variance(self, protocol: str, num_cells: int) -> float:
         """Per-cell variance of ``protocol`` on an ``L``-cell grid.
 
-        OUE shares OLH's variance, so the two are one class here.
+        Dispatches to the protocol's registered planning variance model
+        (:attr:`repro.fo.registry.ProtocolSpec.cell_variance`); unknown
+        names raise the registry's unified
+        :class:`~repro.errors.ConfigurationError`.
         """
-        if protocol in _OLH_CLASS:
-            # sw/ahead/sue/she/the: no closed form that grows with L;
-            # OLH's size-independent variance is the planning proxy.
-            return self.cell_variance_olh
-        if protocol == "grr":
-            return self.cell_variance_grr(num_cells)
-        raise ConfigurationError(f"unknown protocol {protocol!r}")
-
-
-#: Protocols whose per-cell variance does not grow with the cell count:
-#: the unary/histogram encodings (oue/sue/she/the), square wave, and the
-#: adaptive AHEAD refinement all size like OLH for planning purposes.
-_OLH_CLASS = ("olh", "oue", "sue", "she", "the", "sw", "ahead")
+        return protocol_spec(protocol).cell_variance(self, num_cells)
 
 
 def variance_class(protocol: str) -> str:
-    """Map a protocol to its variance class (``oue`` behaves like ``olh``)."""
-    if protocol in _OLH_CLASS:
-        return "olh"
-    if protocol == "grr":
-        return "grr"
-    raise ConfigurationError(f"unknown protocol {protocol!r}")
+    """Map a protocol to its variance class for the sizing solvers.
+
+    ``"grr"`` marks specs whose per-cell variance grows with the cell
+    count (the solvers then bisect the GRR-style stationarity condition);
+    everything else sizes like OLH — size-independent noise with a closed
+    form (the unary/histogram encodings, square wave, AHEAD, and HR all
+    register that way).
+    """
+    spec = protocol_spec(protocol)
+    return "grr" if spec.variance_grows_with_cells else "olh"
 
 
 def _check_selectivity(r: float, name: str = "selectivity") -> float:
@@ -184,7 +178,7 @@ def optimal_size_1d_numerical(d: int, r: float, params: SizingParams,
     e = math.exp(eps)
     A, B = _noise_coeff(params)
 
-    if variance_class(protocol) == "olh":
+    if not protocol_spec(protocol).variance_grows_with_cells:
         continuous = ((params.n * a1 ** 2 * (e - 1) ** 2)
                       / (2.0 * params.m * r * e)) ** (1.0 / 3.0)
     else:
@@ -217,17 +211,17 @@ def optimal_size_2d_numerical(dx: int, dy: int, rx: float, ry: float,
     a2, eps = params.alpha2, params.epsilon
     e = math.exp(eps)
     A, B = _noise_coeff(params)
-    protocol_class = variance_class(protocol)
+    size_independent = not protocol_spec(protocol).variance_grows_with_cells
 
     def d_dx(lx: float, ly: float) -> float:
         nonuni = -8.0 * a2 ** 2 * ry * (lx * rx + ly * ry) / (lx ** 3 * ly)
-        if protocol_class == "olh":
+        if size_independent:
             return nonuni + A * rx * ry * ly
         return nonuni + B * rx * ry * ly * (e - 2.0 + 2.0 * lx * ly)
 
     def d_dy(lx: float, ly: float) -> float:
         nonuni = -8.0 * a2 ** 2 * rx * (lx * rx + ly * ry) / (ly ** 3 * lx)
-        if protocol_class == "olh":
+        if size_independent:
             return nonuni + A * rx * ry * lx
         return nonuni + B * rx * ry * lx * (e - 2.0 + 2.0 * lx * ly)
 
@@ -262,7 +256,7 @@ def optimal_size_2d_num_cat(d_num: int, d_cat: int, rx: float, ry: float,
     e = math.exp(eps)
     A, B = _noise_coeff(params)
 
-    if variance_class(protocol) == "olh":
+    if not protocol_spec(protocol).variance_grows_with_cells:
         continuous = (8.0 * a2 ** 2 * ry
                       / (A * rx * d_cat)) ** (1.0 / 3.0)
     else:
@@ -302,7 +296,7 @@ def plan_grid(domain_x: int, numerical_x: bool, r_x: float,
               params: SizingParams,
               domain_y: Optional[int] = None,
               numerical_y: bool = False, r_y: float = 1.0,
-              protocols: Sequence[str] = _PROTOCOLS) -> GridPlanning:
+              protocols: Optional[Sequence[str]] = None) -> GridPlanning:
     """Size one grid under every candidate protocol; keep the best.
 
     This is the Adaptive Frequency Oracle applied at planning time: the
@@ -310,7 +304,15 @@ def plan_grid(domain_x: int, numerical_x: bool, r_x: float,
     *minimized* predicted error of each protocol and report with the winner.
     For fixed-size (categorical) grids this reduces exactly to the paper's
     Eq. 13 variance comparison.
+
+    ``protocols=None`` (the default) uses the registry's adaptive
+    candidates, resolved at call time so protocols registered after this
+    module was imported still participate. Candidates are compared in
+    registration order with a strict-improvement rule, preserving the
+    paper's tie-break toward the earlier (GRR) candidate.
     """
+    if protocols is None:
+        protocols = tuple(s.name for s in adaptive_candidates())
     if not protocols:
         raise ConfigurationError("need at least one candidate protocol")
     best: Optional[GridPlanning] = None

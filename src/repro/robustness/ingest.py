@@ -1,0 +1,252 @@
+"""Protocol-independent admission-control framework for untrusted reports.
+
+This module holds everything about report ingestion that does *not* depend
+on any particular frequency-oracle protocol: the :class:`IngestPolicy`
+admission modes, the thread-safe :class:`IngestStats` accounting, the
+:class:`ReportSpec` parameter expectations, the :class:`Reject` control
+signal, and the reusable structural validators (integer rows, finite
+vectors, user counts, k-sigma feasibility bands).
+
+Per-protocol sanitizers live next to their protocol's
+:class:`~repro.fo.registry.ProtocolSpec` (see :mod:`repro.fo.registry`)
+and are built from these helpers; the dispatch driver that routes a report
+to its sanitizer is :func:`repro.robustness.policy.sanitize_report`.
+Keeping this module free of ``repro.fo`` imports is what lets the protocol
+registry reference the helpers without an import cycle.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import IngestError
+
+#: admission modes, in decreasing strictness
+INGEST_MODES = ("strict", "drop", "quarantine")
+
+
+@dataclass(frozen=True)
+class IngestPolicy:
+    """How the aggregator treats reports that fail validation.
+
+    Attributes
+    ----------
+    mode:
+        ``strict`` — raise :class:`IngestError` (fail the collection: the
+        right default for trusted pipelines where an invalid report means
+        a bug, not an attacker). ``drop`` — discard invalid rows/reports,
+        counting them in :class:`IngestStats`. ``quarantine`` — like
+        ``drop`` but additionally retains up to ``quarantine_capacity``
+        rejected payload summaries for audit.
+    feasibility_sigmas:
+        Width of the aggregate-feasibility acceptance band, in standard
+        deviations of the honest-batch total. Honest batches fail a
+        k-sigma test with probability ≲ exp(-k²/2); the default 6 makes
+        false rejections astronomically unlikely while still catching
+        grossly forged sufficient statistics.
+    quarantine_capacity:
+        Maximum retained audit entries (counters keep counting past it).
+    """
+
+    mode: str = "strict"
+    feasibility_sigmas: float = 6.0
+    quarantine_capacity: int = 64
+
+    def __post_init__(self) -> None:
+        if self.mode not in INGEST_MODES:
+            raise IngestError(
+                f"ingest mode must be one of {INGEST_MODES}, "
+                f"got {self.mode!r}")
+        if self.feasibility_sigmas <= 0:
+            raise IngestError(
+                f"feasibility_sigmas must be positive, got "
+                f"{self.feasibility_sigmas}")
+        if self.quarantine_capacity < 0:
+            raise IngestError(
+                f"quarantine_capacity must be >= 0, got "
+                f"{self.quarantine_capacity}")
+
+
+class IngestStats:
+    """Thread-safe admission accounting; shared across shards and batches."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.accepted_reports = 0
+        self.accepted_users = 0
+        self.dropped_reports = 0
+        self.dropped_users = 0
+        self.reasons: Dict[str, int] = {}
+        self.quarantine: List[Dict[str, Any]] = []
+
+    def record_accept(self, users: int) -> None:
+        with self._lock:
+            self.accepted_reports += 1
+            self.accepted_users += int(users)
+
+    def record_reject(self, reason: str, users: int,
+                      policy: IngestPolicy,
+                      detail: str = "", whole_report: bool = True) -> None:
+        """Count one rejection; retain an audit entry under quarantine."""
+        with self._lock:
+            self.reasons[reason] = self.reasons.get(reason, 0) + 1
+            self.dropped_users += int(users)
+            if whole_report:
+                self.dropped_reports += 1
+            if (policy.mode == "quarantine"
+                    and len(self.quarantine) < policy.quarantine_capacity):
+                self.quarantine.append(
+                    {"reason": reason, "users": int(users),
+                     "detail": detail})
+
+    def as_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "accepted_reports": self.accepted_reports,
+                "accepted_users": self.accepted_users,
+                "dropped_reports": self.dropped_reports,
+                "dropped_users": self.dropped_users,
+                "reasons": dict(self.reasons),
+                "quarantined": len(self.quarantine),
+            }
+
+    def __repr__(self) -> str:
+        d = self.as_dict()
+        return (f"IngestStats(accepted={d['accepted_reports']}, "
+                f"dropped={d['dropped_reports']}, "
+                f"reasons={d['reasons']})")
+
+
+@dataclass(frozen=True)
+class ReportSpec:
+    """What the aggregator expects a report's parameters to be.
+
+    Built from the oracle that planned the collection
+    (:meth:`ReportSpec.from_oracle`); fields not applicable to the
+    protocol stay ``None`` and are not checked. Without a spec the
+    sanitizers fall back to the report's self-declared parameters, which
+    still catches internal inconsistencies (out-of-range rows, NaNs,
+    negative counters) but not parameter forgery.
+    """
+
+    protocol: str = ""
+    domain_size: Optional[int] = None
+    hash_range: Optional[int] = None
+    report_buckets: Optional[int] = None
+    threshold: Optional[float] = None
+    wave_width: Optional[float] = None
+    p: Optional[float] = None
+    q: Optional[float] = None
+    scale: Optional[float] = None
+
+    @classmethod
+    def from_oracle(cls, oracle) -> "ReportSpec":
+        return cls(
+            protocol=getattr(oracle, "name", ""),
+            domain_size=getattr(oracle, "domain_size", None),
+            hash_range=getattr(oracle, "g", None),
+            report_buckets=getattr(oracle, "report_buckets", None),
+            threshold=getattr(oracle, "threshold", None),
+            wave_width=getattr(oracle, "b", None),
+            p=getattr(oracle, "p", None),
+            q=getattr(oracle, "q", None),
+            scale=getattr(oracle, "scale", None),
+        )
+
+
+class Reject(Exception):
+    """Control signal: this report (or these rows) failed validation.
+
+    Raised inside per-protocol sanitizers, caught by the
+    :func:`repro.robustness.policy.sanitize_report` driver, which turns it
+    into a raise (strict) or a counted drop (drop/quarantine).
+    """
+
+    def __init__(self, reason: str, detail: str = ""):
+        super().__init__(reason)
+        self.reason = reason
+        self.detail = detail
+
+
+def check_int_rows(array, name: str) -> np.ndarray:
+    """Validate a 1-D integer row array (finite, integral); returns int64."""
+    rows = np.asarray(array)
+    if rows.ndim != 1:
+        raise Reject(f"{name}-not-1d", f"shape {rows.shape}")
+    if rows.dtype == object or np.issubdtype(rows.dtype, np.floating):
+        if rows.size and not np.all(np.isfinite(
+                rows.astype(np.float64, copy=False))):
+            raise Reject(f"{name}-not-finite", "NaN or inf entries")
+        as_int = rows.astype(np.int64, copy=False) \
+            if rows.dtype != object else None
+        if as_int is None or (rows.size and not np.array_equal(
+                rows.astype(np.float64), as_int.astype(np.float64))):
+            raise Reject(f"{name}-not-integer", f"dtype {rows.dtype}")
+        return as_int
+    if np.issubdtype(rows.dtype, np.bool_):
+        return rows.astype(np.int64)
+    if not np.issubdtype(rows.dtype, np.integer):
+        raise Reject(f"{name}-not-integer", f"dtype {rows.dtype}")
+    return rows
+
+
+def check_vector(array, name: str, length: Optional[int]) -> np.ndarray:
+    """Validate a finite 1-D float vector of the expected length."""
+    vec = np.asarray(array, dtype=np.float64)
+    if vec.ndim != 1:
+        raise Reject(f"{name}-not-1d", f"shape {vec.shape}")
+    if length is not None and len(vec) != length:
+        raise Reject(f"{name}-wrong-shape",
+                     f"length {len(vec)}, expected {length}")
+    if vec.size and not np.all(np.isfinite(vec)):
+        raise Reject(f"{name}-not-finite", "NaN or inf entries")
+    return vec
+
+
+def check_n(n, declared_rows: Optional[int] = None) -> int:
+    """Validate a declared user count (non-negative, matches rows)."""
+    try:
+        n = int(n)
+    except (TypeError, ValueError):
+        raise Reject("n-not-integer", f"n={n!r}") from None
+    if n < 0:
+        raise Reject("n-negative", f"n={n}")
+    if declared_rows is not None and n != declared_rows:
+        raise Reject("n-mismatch", f"n={n} vs {declared_rows} rows")
+    return n
+
+
+def check_feasible_total(total: float, mean: float, var: float,
+                         sigmas: float) -> None:
+    """k-sigma acceptance band around the honest-batch expectation."""
+    band = sigmas * np.sqrt(max(var, 0.0)) + 1e-9
+    if abs(total - mean) > band:
+        raise Reject(
+            "infeasible-total",
+            f"total {total:.1f} outside {mean:.1f} ± {band:.1f}")
+
+
+def report_user_count(report) -> int:
+    """Best-effort number of users a report claims to aggregate.
+
+    Sufficient-statistic types declare ``n``; per-user-row types are as
+    long as their row arrays. Unknown shapes count as zero users.
+    """
+    n = getattr(report, "n", None)
+    if n is not None:
+        try:
+            return max(int(n), 0)
+        except (TypeError, ValueError):
+            return 0
+    for attr in ("values", "buckets", "bits"):
+        rows = getattr(report, attr, None)
+        if rows is not None:
+            try:
+                return len(rows)
+            except TypeError:
+                return 0
+    return 0

@@ -8,16 +8,19 @@ must neither crash the collection nor silently corrupt every downstream
 estimate. This module is the aggregator's admission control:
 
 * :class:`IngestPolicy` — what to do with an invalid report: ``strict``
-  (raise :class:`~repro.errors.IngestError`), ``drop`` (discard and count),
-  or ``quarantine`` (discard, count, and retain a bounded audit trail).
-* :class:`IngestStats` — thread-safe accounting of every admission
-  decision. No rejection is ever silent: each one either raises or
-  increments a per-reason counter here.
-* :func:`sanitize_report` — per-report-type vectorized validation. Report
-  types carrying per-user rows (GRR values, OLH seed/bucket pairs) are
-  filtered row-wise — the valid rows survive; aggregate types
-  (OUE/SUE/SHE/THE/SW sufficient statistics) are all-or-nothing, since a
-  single forged counter poisons the whole batch.
+  (raise :class:`~repro.errors.IngestError`), ``drop`` (discard and
+  count), or ``quarantine`` (discard, count, and retain a bounded audit
+  trail). Defined in :mod:`repro.robustness.ingest` together with
+  :class:`IngestStats`, :class:`ReportSpec`, and the reusable structural
+  validators; re-exported here for the public API.
+* :func:`sanitize_report` — the dispatch driver. The per-report-type
+  sanitizers themselves live with their protocol's
+  :class:`~repro.fo.registry.ProtocolSpec`, so a newly registered
+  protocol's reports are validated here with zero edits to this module.
+  Report types carrying per-user rows (e.g. GRR values, OLH seed/bucket
+  pairs) are filtered row-wise — the valid rows survive; aggregate
+  types carrying sufficient statistics (e.g. OUE counters) are
+  all-or-nothing, since a single forged counter poisons the whole batch.
 
 Validation is structural (shape, dtype, finiteness, domain/range bounds,
 parameter agreement with the expected :class:`ReportSpec`) plus, where the
@@ -30,397 +33,27 @@ have been produced by honest clients and is rejected as infeasible.
 
 from __future__ import annotations
 
-import threading
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
-
-import numpy as np
+from typing import Optional
 
 from repro.errors import IngestError
-from repro.fo.grr import GRRReport
-from repro.fo.he import SHEReport, THEReport
-from repro.fo.olh import OLHReport
-from repro.fo.oue import OUEReport
-from repro.fo.square_wave import SWReport
+from repro.robustness.ingest import (
+    INGEST_MODES,
+    IngestPolicy,
+    IngestStats,
+    Reject,
+    ReportSpec,
+    report_user_count,
+)
 
-#: admission modes, in decreasing strictness
-INGEST_MODES = ("strict", "drop", "quarantine")
-
-
-@dataclass(frozen=True)
-class IngestPolicy:
-    """How the aggregator treats reports that fail validation.
-
-    Attributes
-    ----------
-    mode:
-        ``strict`` — raise :class:`IngestError` (fail the collection: the
-        right default for trusted pipelines where an invalid report means
-        a bug, not an attacker). ``drop`` — discard invalid rows/reports,
-        counting them in :class:`IngestStats`. ``quarantine`` — like
-        ``drop`` but additionally retains up to ``quarantine_capacity``
-        rejected payload summaries for audit.
-    feasibility_sigmas:
-        Width of the aggregate-feasibility acceptance band, in standard
-        deviations of the honest-batch total. Honest batches fail a
-        k-sigma test with probability ≲ exp(-k²/2); the default 6 makes
-        false rejections astronomically unlikely while still catching
-        grossly forged sufficient statistics.
-    quarantine_capacity:
-        Maximum retained audit entries (counters keep counting past it).
-    """
-
-    mode: str = "strict"
-    feasibility_sigmas: float = 6.0
-    quarantine_capacity: int = 64
-
-    def __post_init__(self) -> None:
-        if self.mode not in INGEST_MODES:
-            raise IngestError(
-                f"ingest mode must be one of {INGEST_MODES}, "
-                f"got {self.mode!r}")
-        if self.feasibility_sigmas <= 0:
-            raise IngestError(
-                f"feasibility_sigmas must be positive, got "
-                f"{self.feasibility_sigmas}")
-        if self.quarantine_capacity < 0:
-            raise IngestError(
-                f"quarantine_capacity must be >= 0, got "
-                f"{self.quarantine_capacity}")
-
-
-class IngestStats:
-    """Thread-safe admission accounting; shared across shards and batches."""
-
-    def __init__(self):
-        self._lock = threading.Lock()
-        self.accepted_reports = 0
-        self.accepted_users = 0
-        self.dropped_reports = 0
-        self.dropped_users = 0
-        self.reasons: Dict[str, int] = {}
-        self.quarantine: List[Dict[str, Any]] = []
-
-    def record_accept(self, users: int) -> None:
-        with self._lock:
-            self.accepted_reports += 1
-            self.accepted_users += int(users)
-
-    def record_reject(self, reason: str, users: int,
-                      policy: IngestPolicy,
-                      detail: str = "", whole_report: bool = True) -> None:
-        """Count one rejection; retain an audit entry under quarantine."""
-        with self._lock:
-            self.reasons[reason] = self.reasons.get(reason, 0) + 1
-            self.dropped_users += int(users)
-            if whole_report:
-                self.dropped_reports += 1
-            if (policy.mode == "quarantine"
-                    and len(self.quarantine) < policy.quarantine_capacity):
-                self.quarantine.append(
-                    {"reason": reason, "users": int(users),
-                     "detail": detail})
-
-    def as_dict(self) -> Dict[str, Any]:
-        with self._lock:
-            return {
-                "accepted_reports": self.accepted_reports,
-                "accepted_users": self.accepted_users,
-                "dropped_reports": self.dropped_reports,
-                "dropped_users": self.dropped_users,
-                "reasons": dict(self.reasons),
-                "quarantined": len(self.quarantine),
-            }
-
-    def __repr__(self) -> str:
-        d = self.as_dict()
-        return (f"IngestStats(accepted={d['accepted_reports']}, "
-                f"dropped={d['dropped_reports']}, "
-                f"reasons={d['reasons']})")
-
-
-@dataclass(frozen=True)
-class ReportSpec:
-    """What the aggregator expects a report's parameters to be.
-
-    Built from the oracle that planned the collection
-    (:meth:`ReportSpec.from_oracle`); fields not applicable to the
-    protocol stay ``None`` and are not checked. Without a spec the
-    sanitizers fall back to the report's self-declared parameters, which
-    still catches internal inconsistencies (out-of-range rows, NaNs,
-    negative counters) but not parameter forgery.
-    """
-
-    protocol: str = ""
-    domain_size: Optional[int] = None
-    hash_range: Optional[int] = None
-    report_buckets: Optional[int] = None
-    threshold: Optional[float] = None
-    wave_width: Optional[float] = None
-    p: Optional[float] = None
-    q: Optional[float] = None
-    scale: Optional[float] = None
-
-    @classmethod
-    def from_oracle(cls, oracle) -> "ReportSpec":
-        return cls(
-            protocol=getattr(oracle, "name", ""),
-            domain_size=getattr(oracle, "domain_size", None),
-            hash_range=getattr(oracle, "g", None),
-            report_buckets=getattr(oracle, "report_buckets", None),
-            threshold=getattr(oracle, "threshold", None),
-            wave_width=getattr(oracle, "b", None),
-            p=getattr(oracle, "p", None),
-            q=getattr(oracle, "q", None),
-            scale=getattr(oracle, "scale", None),
-        )
-
-
-class _Reject(Exception):
-    """Internal signal: this report (or these rows) failed validation."""
-
-    def __init__(self, reason: str, detail: str = ""):
-        super().__init__(reason)
-        self.reason = reason
-        self.detail = detail
-
-
-def _as_int_rows(array, name: str) -> np.ndarray:
-    rows = np.asarray(array)
-    if rows.ndim != 1:
-        raise _Reject(f"{name}-not-1d", f"shape {rows.shape}")
-    if rows.dtype == object or np.issubdtype(rows.dtype, np.floating):
-        if rows.size and not np.all(np.isfinite(
-                rows.astype(np.float64, copy=False))):
-            raise _Reject(f"{name}-not-finite", "NaN or inf entries")
-        as_int = rows.astype(np.int64, copy=False) \
-            if rows.dtype != object else None
-        if as_int is None or (rows.size and not np.array_equal(
-                rows.astype(np.float64), as_int.astype(np.float64))):
-            raise _Reject(f"{name}-not-integer", f"dtype {rows.dtype}")
-        return as_int
-    if np.issubdtype(rows.dtype, np.bool_):
-        return rows.astype(np.int64)
-    if not np.issubdtype(rows.dtype, np.integer):
-        raise _Reject(f"{name}-not-integer", f"dtype {rows.dtype}")
-    return rows
-
-
-def _check_vector(array, name: str, length: Optional[int]) -> np.ndarray:
-    vec = np.asarray(array, dtype=np.float64)
-    if vec.ndim != 1:
-        raise _Reject(f"{name}-not-1d", f"shape {vec.shape}")
-    if length is not None and len(vec) != length:
-        raise _Reject(f"{name}-wrong-shape",
-                      f"length {len(vec)}, expected {length}")
-    if vec.size and not np.all(np.isfinite(vec)):
-        raise _Reject(f"{name}-not-finite", "NaN or inf entries")
-    return vec
-
-
-def _check_n(n, declared_rows: Optional[int] = None) -> int:
-    try:
-        n = int(n)
-    except (TypeError, ValueError):
-        raise _Reject("n-not-integer", f"n={n!r}") from None
-    if n < 0:
-        raise _Reject("n-negative", f"n={n}")
-    if declared_rows is not None and n != declared_rows:
-        raise _Reject("n-mismatch", f"n={n} vs {declared_rows} rows")
-    return n
-
-
-def _feasible_total(total: float, mean: float, var: float,
-                    sigmas: float) -> None:
-    """k-sigma acceptance band around the honest-batch expectation."""
-    band = sigmas * np.sqrt(max(var, 0.0)) + 1e-9
-    if abs(total - mean) > band:
-        raise _Reject(
-            "infeasible-total",
-            f"total {total:.1f} outside {mean:.1f} ± {band:.1f}")
-
-
-# -- per-report-type sanitizers -----------------------------------------------
-
-
-def _sanitize_grr(report: GRRReport, policy: IngestPolicy,
-                  stats: IngestStats, spec: Optional[ReportSpec]):
-    values = _as_int_rows(report.values, "values")
-    domain = spec.domain_size if spec and spec.domain_size else \
-        int(report.domain_size)
-    if spec and spec.domain_size and report.domain_size != spec.domain_size:
-        raise _Reject("domain-mismatch",
-                      f"declared {report.domain_size}, "
-                      f"expected {spec.domain_size}")
-    valid = (values >= 0) & (values < domain)
-    bad = int(len(values) - valid.sum())
-    if bad == 0:
-        return GRRReport(values=values, domain_size=domain), len(values)
-    if policy.mode == "strict":
-        stats.record_reject("out-of-domain-values", bad, policy,
-                            f"{bad}/{len(values)} rows")
-        raise IngestError(
-            f"GRR report carries {bad} out-of-domain values "
-            f"(domain [0, {domain})); strict ingest policy rejects it")
-    stats.record_reject("out-of-domain-values", bad, policy,
-                        f"{bad}/{len(values)} rows", whole_report=False)
-    kept = values[valid]
-    if len(kept) == 0:
-        return None, 0
-    return GRRReport(values=kept, domain_size=domain), len(kept)
-
-
-def _sanitize_olh(report: OLHReport, policy: IngestPolicy,
-                  stats: IngestStats, spec: Optional[ReportSpec]):
-    seeds = np.asarray(report.seeds)
-    buckets = _as_int_rows(report.buckets, "buckets")
-    if seeds.ndim != 1 or len(seeds) != len(buckets):
-        raise _Reject("seed-bucket-mismatch",
-                      f"{seeds.shape} seeds vs {len(buckets)} buckets")
-    g = spec.hash_range if spec and spec.hash_range else \
-        int(report.hash_range)
-    if spec and spec.hash_range and report.hash_range != spec.hash_range:
-        raise _Reject("hash-range-mismatch",
-                      f"declared {report.hash_range}, expected "
-                      f"{spec.hash_range}")
-    if spec and spec.domain_size and report.domain_size != spec.domain_size:
-        raise _Reject("domain-mismatch",
-                      f"declared {report.domain_size}, "
-                      f"expected {spec.domain_size}")
-    valid = (buckets >= 0) & (buckets < g)
-    bad = int(len(buckets) - valid.sum())
-    if bad == 0:
-        return OLHReport(seeds=seeds.astype(np.uint64, copy=False),
-                         buckets=buckets, hash_range=g,
-                         domain_size=report.domain_size), len(buckets)
-    if policy.mode == "strict":
-        stats.record_reject("out-of-range-buckets", bad, policy,
-                            f"{bad}/{len(buckets)} rows")
-        raise IngestError(
-            f"OLH report carries {bad} buckets outside [0, {g}); strict "
-            f"ingest policy rejects it")
-    stats.record_reject("out-of-range-buckets", bad, policy,
-                        f"{bad}/{len(buckets)} rows", whole_report=False)
-    if not valid.any():
-        return None, 0
-    return OLHReport(seeds=seeds[valid].astype(np.uint64, copy=False),
-                     buckets=buckets[valid], hash_range=g,
-                     domain_size=report.domain_size), int(valid.sum())
-
-
-def _sanitize_oue(report: OUEReport, policy: IngestPolicy,
-                  stats: IngestStats, spec: Optional[ReportSpec]):
-    n = _check_n(report.n)
-    d = spec.domain_size if spec and spec.domain_size else len(
-        np.atleast_1d(np.asarray(report.ones)))
-    ones = _check_vector(report.ones, "ones", d)
-    if (ones < 0).any() or (ones > n).any():
-        raise _Reject("counter-out-of-bounds",
-                      f"per-value 1-counts must lie in [0, n={n}]")
-    if spec and spec.p is not None and spec.q is not None and n > 0:
-        # Honest total one-bits: Binomial(n, p) + Binomial(n(d-1), q).
-        mean = n * (spec.p + spec.q * (d - 1))
-        var = (n * spec.p * (1 - spec.p)
-               + n * (d - 1) * spec.q * (1 - spec.q))
-        _feasible_total(float(ones.sum()), mean, var,
-                        policy.feasibility_sigmas)
-    return OUEReport(ones=ones.astype(np.int64), n=n), n
-
-
-def _sanitize_she(report: SHEReport, policy: IngestPolicy,
-                  stats: IngestStats, spec: Optional[ReportSpec]):
-    n = _check_n(report.n)
-    d = spec.domain_size if spec and spec.domain_size else len(
-        np.atleast_1d(np.asarray(report.sums)))
-    sums = _check_vector(report.sums, "sums", d)
-    if spec and spec.scale is not None and n > 0:
-        # Each honest user contributes exactly one one-hot unit plus
-        # zero-mean Laplace(scale) noise on every coordinate, so the
-        # grand total is n ± noise with variance n·d·2·scale².
-        var = n * d * 2.0 * spec.scale ** 2
-        _feasible_total(float(sums.sum()), float(n), var,
-                        policy.feasibility_sigmas)
-    return SHEReport(sums=sums, n=n), n
-
-
-def _sanitize_the(report: THEReport, policy: IngestPolicy,
-                  stats: IngestStats, spec: Optional[ReportSpec]):
-    n = _check_n(report.n)
-    d = spec.domain_size if spec and spec.domain_size else len(
-        np.atleast_1d(np.asarray(report.supports)))
-    supports = _check_vector(report.supports, "supports", d)
-    if (supports < 0).any() or (supports > n).any():
-        raise _Reject("counter-out-of-bounds",
-                      f"support counts must lie in [0, n={n}]")
-    if not np.isfinite(report.threshold):
-        raise _Reject("threshold-not-finite", f"θ={report.threshold}")
-    if spec and spec.threshold is not None and \
-            abs(report.threshold - spec.threshold) > 1e-9:
-        raise _Reject("threshold-mismatch",
-                      f"declared θ={report.threshold}, expected "
-                      f"{spec.threshold}")
-    if spec and spec.p is not None and spec.q is not None and n > 0:
-        mean = n * (spec.p + spec.q * (d - 1))
-        var = (n * spec.p * (1 - spec.p)
-               + n * (d - 1) * spec.q * (1 - spec.q))
-        _feasible_total(float(supports.sum()), mean, var,
-                        policy.feasibility_sigmas)
-    return THEReport(supports=supports.astype(np.int64), n=n,
-                     threshold=float(report.threshold)), n
-
-
-def _sanitize_sw(report: SWReport, policy: IngestPolicy,
-                 stats: IngestStats, spec: Optional[ReportSpec]):
-    n = _check_n(report.n)
-    buckets = spec.report_buckets if spec and spec.report_buckets else len(
-        np.atleast_1d(np.asarray(report.counts)))
-    counts = _check_vector(report.counts, "counts", buckets)
-    if (counts < 0).any():
-        raise _Reject("negative-counts", "SW bucket counts must be >= 0")
-    if int(counts.sum()) != n:
-        raise _Reject("support-mismatch",
-                      f"counts sum to {int(counts.sum())}, declared n={n}")
-    if not np.isfinite(report.wave_width) or report.wave_width <= 0:
-        raise _Reject("wave-width-invalid", f"b={report.wave_width}")
-    if spec and spec.wave_width is not None and \
-            abs(report.wave_width - spec.wave_width) > 1e-9:
-        raise _Reject("wave-width-mismatch",
-                      f"declared b={report.wave_width}, expected "
-                      f"{spec.wave_width}")
-    return SWReport(counts=counts.astype(np.int64), n=n,
-                    wave_width=float(report.wave_width)), n
-
-
-_SANITIZERS = {
-    GRRReport: _sanitize_grr,
-    OLHReport: _sanitize_olh,
-    OUEReport: _sanitize_oue,  # SUE shares the OUEReport container
-    SHEReport: _sanitize_she,
-    THEReport: _sanitize_the,
-    SWReport: _sanitize_sw,
-}
-
-
-def report_user_count(report) -> int:
-    """Best-effort number of users a report claims to aggregate.
-
-    Sufficient-statistic types declare ``n``; per-user-row types are as
-    long as their row arrays. Unknown shapes count as zero users.
-    """
-    n = getattr(report, "n", None)
-    if n is not None:
-        try:
-            return max(int(n), 0)
-        except (TypeError, ValueError):
-            return 0
-    for attr in ("values", "buckets"):
-        rows = getattr(report, attr, None)
-        if rows is not None:
-            try:
-                return len(rows)
-            except TypeError:
-                return 0
-    return 0
+__all__ = [
+    "INGEST_MODES",
+    "IngestPolicy",
+    "IngestStats",
+    "ReportSpec",
+    "report_user_count",
+    "sanitize_report",
+    "sanitize_reports",
+]
 
 
 def sanitize_report(report, policy: IngestPolicy,
@@ -428,12 +61,14 @@ def sanitize_report(report, policy: IngestPolicy,
                     expected: Optional[ReportSpec] = None):
     """Validate one untrusted report under ``policy``.
 
-    Returns the sanitized report (row-filtered for GRR/OLH, re-normalized
-    dtypes otherwise), or ``None`` when the whole report was rejected
-    under ``drop``/``quarantine``. ``strict`` mode raises
+    Returns the sanitized report (row-filtered for per-user-row types,
+    re-normalized dtypes otherwise), or ``None`` when the whole report was
+    rejected under ``drop``/``quarantine``. ``strict`` mode raises
     :class:`~repro.errors.IngestError` instead of returning ``None``.
-    Report types without a registered sanitizer (e.g. a fitted AHEAD
-    model produced inside the trusted pipeline) pass through unchanged.
+    The sanitizer is looked up from the report type's registered
+    :class:`~repro.fo.registry.ProtocolSpec`; report types without one
+    (e.g. a fitted AHEAD model produced inside the trusted pipeline) pass
+    through unchanged.
 
     Every rejection is accounted in ``stats`` — there is no code path
     that discards data without either raising or incrementing a counter.
@@ -441,13 +76,17 @@ def sanitize_report(report, policy: IngestPolicy,
     if report is None:
         return None
     stats = stats if stats is not None else IngestStats()
-    sanitizer = _SANITIZERS.get(type(report))
+    # Local import: repro.fo.registry imports this package's ingest
+    # helpers at module load, so the registry lookup resolves lazily.
+    from repro.fo.registry import spec_for_report
+    spec = spec_for_report(type(report))
+    sanitizer = spec.sanitizer if spec is not None else None
     if sanitizer is None:
         stats.record_accept(report_user_count(report))
         return report
     try:
         sanitized, users = sanitizer(report, policy, stats, expected)
-    except _Reject as reject:
+    except Reject as reject:
         users = report_user_count(report)
         stats.record_reject(reject.reason, users, policy, reject.detail)
         if policy.mode == "strict":

@@ -1,0 +1,82 @@
+"""Static lint: no string-literal protocol dispatch outside the registry.
+
+The unified protocol registry (:mod:`repro.fo.registry`) exists so that
+adding a frequency oracle touches exactly one module. That property rots
+the moment any other layer grows an ``if protocol == "xyz"`` branch or a
+``protocol in ("grr", "olh")`` membership tuple, so this test greps the
+source tree for protocol-name-literal dispatch and fails on any hit
+outside the registry itself and the protocol spec modules.
+
+Wired into ``make lint`` and the default pytest run.
+"""
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: modules allowed to mention protocol names in dispatch position: the
+#: registry (defines the specs) and self-registering protocol modules
+ALLOWED = {
+    SRC / "fo" / "registry.py",
+    SRC / "fo" / "hr.py",
+}
+
+#: every registered protocol name; "adaptive" is deliberately absent —
+#: it is a planning-time pseudo-protocol, not a registered spec, and
+#: resolving it is the adaptive chooser's one job
+NAMES = r"(grr|olh|oue|sue|she|the|sw|ahead|hr)"
+QUOTED = rf"[\"']{NAMES}[\"']"
+
+#: dispatch shapes: equality/inequality against a protocol literal
+#: (either side), or membership in a literal collection opening with
+#: one. Deliberately does NOT match single ``=`` so keyword arguments
+#: like ``protocol="olh"`` (construction, not dispatch) stay legal.
+DISPATCH = re.compile(
+    rf"(==|!=)\s*{QUOTED}"
+    rf"|{QUOTED}\s*(==|!=)"
+    rf"|\bin\s+[\(\[\{{]\s*{QUOTED}")
+
+
+def protocol_dispatch_lines(path: Path):
+    hits = []
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        if line.lstrip().startswith("#"):
+            continue
+        if DISPATCH.search(line):
+            hits.append(f"{path.relative_to(SRC.parent.parent)}:"
+                        f"{lineno}: {line.strip()}")
+    return hits
+
+
+def test_no_protocol_literal_dispatch_outside_registry():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path in ALLOWED:
+            continue
+        offenders.extend(protocol_dispatch_lines(path))
+    assert not offenders, (
+        "protocol-name-literal dispatch found outside the registry; "
+        "route these through repro.fo.registry instead:\n"
+        + "\n".join(offenders))
+
+
+def test_regex_catches_dispatch_shapes():
+    assert DISPATCH.search('if protocol == "grr":')
+    assert DISPATCH.search("if 'olh' != protocol:")
+    assert DISPATCH.search('if protocol in ("sw", "ahead"):')
+    assert DISPATCH.search("if p in ['hr']:")
+
+
+def test_regex_ignores_legal_shapes():
+    assert not DISPATCH.search('make_oracle(protocol="olh", epsilon=1.0)')
+    assert not DISPATCH.search('FelipConfig(protocols=("grr", "olh"))')
+    assert not DISPATCH.search('if protocol == ADAPTIVE:')
+    assert not DISPATCH.search('if protocol == "adaptive":')
+    assert not DISPATCH.search('name = "grr"')
+
+
+def test_allowed_files_exist():
+    for path in ALLOWED:
+        assert path.is_file(), f"lint allowlist entry vanished: {path}"
