@@ -31,6 +31,9 @@ from repro.robustness.ingest import INGEST_MODES
 
 _STRATEGIES = ("oug", "ohg")
 _PARTITION_MODES = ("users", "budget")
+#: accepted FelipConfig.backend values (mirrors repro.core.parallel.BACKENDS;
+#: kept literal here so config stays import-light)
+EXECUTOR_BACKENDS = ("thread", "process", "auto")
 
 
 @dataclass(frozen=True)
@@ -81,11 +84,18 @@ class FelipConfig:
         needs each group's full per-user budget for its interactive
         refinement rounds and cannot be budget-split.
     workers:
-        Thread-pool width of the sharded collection/estimation executor
+        Pool width of the sharded collection/estimation executor
         (``1`` = serial, ``0`` = one worker per CPU). Parallelism never
         changes outputs: shards draw from deterministically spawned
         generators and are reduced in a fixed order, so results are a
         pure function of ``(seed, chunk_size)``.
+    backend:
+        Executor backend for the *collection* stage: ``"thread"``
+        (default), ``"process"`` (shared-memory descriptor-passing
+        workers that sidestep the GIL for the perturbation hot loops),
+        or ``"auto"`` (process when more than one effective worker is
+        available). The backend, like ``workers``, never changes a
+        single bit of output — see ``repro.core.parallel``.
     chunk_size:
         Rows per client-side shard within a group (``None`` = whole
         groups). ``None`` additionally makes the sharded executor
@@ -125,6 +135,7 @@ class FelipConfig:
     partition_mode: str = "users"
     one_d_protocol: str = None
     workers: int = 1
+    backend: str = "thread"
     chunk_size: Optional[int] = None
     ingest_policy: str = "strict"
     detectors: Tuple[str, ...] = ()
@@ -163,6 +174,10 @@ class FelipConfig:
             raise ConfigurationError(
                 f"workers must be >= 0 (0 = one per CPU), got "
                 f"{self.workers}")
+        if self.backend not in EXECUTOR_BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {EXECUTOR_BACKENDS}, "
+                f"got {self.backend!r}")
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ConfigurationError(
                 f"chunk_size must be None or >= 1, got {self.chunk_size}")

@@ -1,0 +1,200 @@
+"""Shared-memory arenas for the process-backed sharded executor.
+
+The process backend of :func:`repro.core.parallel.run_sharded` must not
+pickle numpy arrays through the executor's result pipe: the encoded
+record columns are megabytes per shard, and serializing them would spend
+more time than the GIL ever cost. Instead the parent places every array
+a shard reads in one ``multiprocessing.shared_memory`` segment (the
+*input arena*) and preallocates a second segment for every array a shard
+writes (the *output arena*). Tasks then cross the process boundary as
+tiny :class:`ArrayHandle` descriptors — ``(shm name, dtype, shape,
+offset)`` — and workers map them back to zero-copy numpy views.
+
+Lifecycle rules (the part that keeps ``/dev/shm`` clean):
+
+* The parent is the only owner: it creates segments through
+  :class:`SharedArena` and destroys them in a ``finally`` block, so a
+  failed collection — including a chaos-killed worker that breaks the
+  whole pool — still unlinks everything it created.
+* Workers only ever *attach* (``create=False``) and cache one
+  ``SharedMemory`` object per segment name per process, so a thousand
+  shards cost one ``shm_open`` each. CPython registers attachments with
+  the ``resource_tracker`` as well; the tracker's per-name set semantics
+  mean the parent's single ``unlink`` still retires the name cleanly.
+* Input views are handed to shard code with ``writeable=False``:
+  perturbation must never mutate the shared record matrix out from
+  under sibling shards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+try:  # pragma: no cover - present on every supported CPython
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+#: byte alignment of every array placed in an arena (cache-line sized,
+#: and a multiple of every numpy itemsize we store)
+_ALIGN = 64
+
+
+def shared_memory_available() -> bool:
+    """True when ``multiprocessing.shared_memory`` is importable."""
+    return _shared_memory is not None
+
+
+def _aligned(nbytes: int) -> int:
+    return (nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass(frozen=True)
+class ArrayHandle:
+    """Descriptor of one array inside a shared-memory segment.
+
+    This — not the array — is what crosses the process boundary: the
+    segment name, dtype string, shape, and byte offset are enough for a
+    worker to rebuild a zero-copy view with :func:`attach_view`.
+    """
+
+    shm_name: str
+    dtype: str
+    shape: Tuple[int, ...]
+    offset: int
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.dtype(self.dtype).itemsize * int(np.prod(self.shape,
+                                                               dtype=np.int64)))
+
+
+class SharedArena:
+    """One parent-owned shared-memory segment holding packed arrays.
+
+    Build with a byte size up front (then :meth:`put`/:meth:`reserve`
+    slots into it) or via :meth:`from_arrays` (sized to hold copies of
+    existing arrays); tear down with :meth:`destroy`. The parent keeps the ``SharedMemory``
+    object alive for the arena's lifetime, so handles stay mappable in
+    workers until :meth:`destroy` unlinks the segment.
+    """
+
+    def __init__(self, size: int):
+        if _shared_memory is None:  # pragma: no cover
+            raise RuntimeError(
+                "multiprocessing.shared_memory is unavailable on this "
+                "platform; use the thread backend")
+        # A zero-byte segment is unmappable; keep a minimal one so the
+        # lifecycle (and teardown accounting) stays uniform.
+        self._shm = _shared_memory.SharedMemory(create=True,
+                                                size=max(size, _ALIGN))
+        self._cursor = 0
+        self._destroyed = False
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @classmethod
+    def from_arrays(cls, arrays: Sequence[np.ndarray]
+                    ) -> Tuple["SharedArena", Tuple[ArrayHandle, ...]]:
+        """Create an arena holding a packed copy of every array."""
+        arena = cls(sum(_aligned(a.nbytes) for a in arrays))
+        handles = tuple(arena.put(a) for a in arrays)
+        return arena, handles
+
+    def put(self, array: np.ndarray) -> ArrayHandle:
+        """Copy ``array`` into the arena; returns its handle."""
+        array = np.ascontiguousarray(array)
+        handle = self.reserve(array.shape, array.dtype)
+        self.view(handle)[...] = array
+        return handle
+
+    def reserve(self, shape: Tuple[int, ...], dtype) -> ArrayHandle:
+        """Reserve space for one array without writing it (output slots)."""
+        handle = ArrayHandle(shm_name=self._shm.name,
+                             dtype=np.dtype(dtype).str,
+                             shape=tuple(int(s) for s in shape),
+                             offset=self._cursor)
+        end = self._cursor + _aligned(handle.nbytes)
+        if end > self._shm.size:
+            raise ValueError(
+                f"arena overflow: need {end} bytes, segment holds "
+                f"{self._shm.size}")
+        self._cursor = end
+        return handle
+
+    def view(self, handle: ArrayHandle) -> np.ndarray:
+        """Parent-side view of one handle (writable; used to fill/read)."""
+        return np.ndarray(handle.shape, dtype=np.dtype(handle.dtype),
+                          buffer=self._shm.buf, offset=handle.offset)
+
+    def destroy(self) -> None:
+        """Close and unlink the segment (idempotent, failure-tolerant)."""
+        if self._destroyed:
+            return
+        self._destroyed = True
+        try:
+            self._shm.close()
+        except (OSError, BufferError):  # pragma: no cover
+            pass
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Worker-process side: attach-once segment cache.
+# ---------------------------------------------------------------------------
+
+#: per-process cache of attached segments; lives for the worker's
+#: lifetime so every shard after the first maps for free
+_ATTACHED: Dict[str, object] = {}
+
+
+def _segment(name: str):
+    seg = _ATTACHED.get(name)
+    if seg is None:
+        seg = _shared_memory.SharedMemory(name=name, create=False)
+        _ATTACHED[name] = seg
+    return seg
+
+
+def attach_view(handle: ArrayHandle, *, writeable: bool = False
+                ) -> np.ndarray:
+    """Map a handle to a numpy view of the (attached) shared segment.
+
+    Input views default to read-only — shards must never mutate the
+    shared record matrix; pass ``writeable=True`` only for output slots
+    the parent reserved for this shard alone.
+    """
+    view = np.ndarray(handle.shape, dtype=np.dtype(handle.dtype),
+                      buffer=_segment(handle.shm_name).buf,
+                      offset=handle.offset)
+    view.flags.writeable = writeable
+    return view
+
+
+def detach(names) -> None:
+    """Drop (and close) cached attachments for the given segment names.
+
+    Called by the parent after destroying an arena whose descriptors ran
+    inline in this process; unknown names are a no-op.
+    """
+    for name in names:
+        seg = _ATTACHED.pop(name, None)
+        if seg is None:
+            continue
+        try:
+            seg.close()
+        except (OSError, BufferError):  # pragma: no cover
+            pass
+
+
+def detach_all() -> None:
+    """Drop this process's attachment cache (test hook)."""
+    detach(list(_ATTACHED))

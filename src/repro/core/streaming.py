@@ -30,10 +30,10 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.core.client import GroupReport
+from repro.core.client import GroupReport, _TaskBuilder
 from repro.core.config import FelipConfig
 from repro.core.merge import merge_reports, mergeable_protocol
-from repro.core.parallel import ExecutionStats, run_sharded
+from repro.core.parallel import ExecutionStats, resolve_backend, run_sharded
 from repro.core.planner import PlannedGrid, plan_grids
 from repro.core.server import Aggregator
 from repro.errors import ConfigurationError, ProtocolError
@@ -167,31 +167,45 @@ class StreamingCollector:
 
     def _observe_sharded(self, records: np.ndarray,
                          assignment: np.ndarray, rng) -> None:
-        """Parallel path: per-group spawned streams, reduced in order."""
+        """Parallel path: per-group spawned streams, reduced in order.
+
+        Shares the batch collector's task machinery
+        (:class:`repro.core.client._TaskBuilder`): under
+        ``config.backend="process"`` the batch's gathered columns travel
+        to workers as shared-memory descriptors, exactly like one-shot
+        collection, and the arena is torn down per batch. The backend
+        never changes output: workers rebuild the same deterministic
+        oracle this collector caches and replay the same spawned stream.
+        """
+        backend = resolve_backend(self.config.backend,
+                                  self.config.workers)
         group_rngs = spawn(rng, len(self.plans))
-        tasks, task_group = [], []
+        builder = _TaskBuilder(use_process=(backend == "process"),
+                               ingest=None)
         for g, plan in enumerate(self.plans):
             rows = records[assignment == g]
             self._group_sizes[g] += len(rows)
             if len(rows) == 0 or plan.num_cells < 2:
                 continue
-            tasks.append(self._perturb_task(plan, rows, group_rngs[g]))
-            task_group.append(g)
-        reports = run_sharded(tasks, self.config.workers,
-                              retries=self.config.shard_retries,
-                              fault_injector=self.fault_injector,
-                              stats=self.exec_stats)
-        for g, report in zip(task_group, reports):
-            self._admit(self.plans[g].key, report)
-
-    def _perturb_task(self, plan: PlannedGrid, rows: np.ndarray, rng):
-        state = rng.bit_generator.state
-
-        def run():
-            rng.bit_generator.state = state  # replay-safe under retry
-            return self._oracles[plan.key].perturb(plan.grid.encode(rows),
-                                                   rng)
-        return run
+            columns = [rows[:, t] for t in plan.grid.column_indices]
+            builder.add_perturb(
+                g, plan, self._oracles[plan.key], columns,
+                keys=[(g, t) for t in plan.grid.column_indices],
+                bounds=[(0, len(rows))], shard_rngs=[group_rngs[g]],
+                epsilon=self.config.epsilon)
+        try:
+            builder.build()
+            reports = run_sharded(builder.tasks, self.config.workers,
+                                  backend=backend,
+                                  retries=self.config.shard_retries,
+                                  fault_injector=self.fault_injector,
+                                  stats=self.exec_stats)
+            for index, (g, report) in enumerate(zip(builder.task_group,
+                                                    reports)):
+                self._admit(self.plans[g].key,
+                            builder.materialize(report, index))
+        finally:
+            builder.cleanup()
 
     def ingest_report(self, key, report) -> bool:
         """Admit one externally produced report for the grid ``key``.

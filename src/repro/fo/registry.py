@@ -110,6 +110,15 @@ class ProtocolSpec:
     mergeable, budget_splittable, streamable, one_d_only,
     adaptive_candidate:
         Capability flags; see the module docstring.
+    report_layout:
+        ``(oracle, rows) -> {field: (shape, dtype)}`` declaring, ahead of
+        perturbation, the exact shape and dtype of every *array* field of
+        the report ``perturb`` will return for ``rows`` users. The
+        process-backed executor uses this to preallocate shared-memory
+        output slots so worker processes write report arrays in place
+        instead of pickling them back; non-array fields travel as pickled
+        scalars. ``None`` (the default) is always safe — reports of this
+        protocol are then pickled whole across the process boundary.
     interactive_fit:
         ``(planned, column, epsilon, rng) -> report`` for backends that
         consume a whole group interactively instead of a one-shot
@@ -133,6 +142,7 @@ class ProtocolSpec:
     streamable: bool = True
     one_d_only: bool = False
     adaptive_candidate: bool = False
+    report_layout: Optional[Callable[[FrequencyOracle, int], dict]] = None
     interactive_fit: Optional[Callable] = None
     grid_estimator: Optional[Callable] = None
 
@@ -475,6 +485,40 @@ def _sanitize_sw(report: SWReport, policy: IngestPolicy,
 
 
 # ---------------------------------------------------------------------------
+# Shared-memory report layouts of the built-in report types: the exact
+# (shape, dtype) of every array field ``perturb`` emits for ``rows``
+# users, declared up front so the process-backed executor can reserve
+# output slots before the shard runs. Per-user-row protocols scale with
+# the shard (GRR/OLH), aggregate protocols with the domain (the rest).
+# ---------------------------------------------------------------------------
+
+
+def _layout_grr(oracle, rows: int) -> dict:
+    return {"values": ((rows,), np.dtype(np.int64))}
+
+
+def _layout_olh(oracle, rows: int) -> dict:
+    return {"seeds": ((rows,), np.dtype(np.uint64)),
+            "buckets": ((rows,), np.dtype(np.uint64))}
+
+
+def _layout_oue(oracle, rows: int) -> dict:
+    return {"ones": ((oracle.domain_size,), np.dtype(np.int64))}
+
+
+def _layout_she(oracle, rows: int) -> dict:
+    return {"sums": ((oracle.domain_size,), np.dtype(np.float64))}
+
+
+def _layout_the(oracle, rows: int) -> dict:
+    return {"supports": ((oracle.domain_size,), np.dtype(np.int64))}
+
+
+def _layout_sw(oracle, rows: int) -> dict:
+    return {"counts": ((oracle.report_buckets,), np.dtype(np.int64))}
+
+
+# ---------------------------------------------------------------------------
 # Variance models. The unary/histogram/square-wave protocols have no
 # closed form that grows with the cell count; OLH's size-independent
 # variance is their planning proxy (exactly the pre-registry behavior).
@@ -547,6 +591,7 @@ def _estimate_ahead_group(group):
 
 register(ProtocolSpec(
     name="grr",
+    report_layout=_layout_grr,
     factory=GeneralizedRandomizedResponse,
     report_type=GRRReport,
     merger=_merge_grr,
@@ -559,6 +604,7 @@ register(ProtocolSpec(
 
 register(ProtocolSpec(
     name="olh",
+    report_layout=_layout_olh,
     factory=OptimizedLocalHashing,
     report_type=OLHReport,
     merger=_merge_olh,
@@ -570,6 +616,7 @@ register(ProtocolSpec(
 
 register(ProtocolSpec(
     name="oue",
+    report_layout=_layout_oue,
     factory=OptimizedUnaryEncoding,
     report_type=OUEReport,
     merger=_merge_oue,
@@ -580,6 +627,7 @@ register(ProtocolSpec(
 
 register(ProtocolSpec(
     name="sue",
+    report_layout=_layout_oue,
     factory=SymmetricUnaryEncoding,
     report_type=OUEReport,  # SUE perturbs into OUE's container
     merger=_merge_oue,
@@ -590,6 +638,7 @@ register(ProtocolSpec(
 
 register(ProtocolSpec(
     name="she",
+    report_layout=_layout_she,
     factory=SummationHistogramEncoding,
     report_type=SHEReport,
     merger=_merge_she,
@@ -600,6 +649,7 @@ register(ProtocolSpec(
 
 register(ProtocolSpec(
     name="the",
+    report_layout=_layout_the,
     factory=ThresholdHistogramEncoding,
     report_type=THEReport,
     merger=_merge_the,
@@ -610,6 +660,7 @@ register(ProtocolSpec(
 
 register(ProtocolSpec(
     name="sw",
+    report_layout=_layout_sw,
     factory=SquareWave,
     report_type=SWReport,
     merger=_merge_sw,

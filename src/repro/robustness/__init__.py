@@ -38,7 +38,11 @@ from repro.robustness.detect import (
     run_detectors,
     validate_detector_names,
 )
-from repro.robustness.faults import FaultInjector, TransientShardFault
+from repro.robustness.faults import (
+    FaultInjector,
+    PoisonedShardError,
+    TransientShardFault,
+)
 from repro.robustness.policy import (
     INGEST_MODES,
     IngestPolicy,
@@ -58,6 +62,7 @@ __all__ = [
     "IngestPolicy",
     "IngestStats",
     "MaximalGainAttack",
+    "PoisonedShardError",
     "PoisoningAttack",
     "RandomReportAttack",
     "RandomValueAttack",

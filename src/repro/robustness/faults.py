@@ -13,7 +13,21 @@ The injected exception, :class:`TransientShardFault`, deliberately does
 are deterministic (a ProtocolError will recur on every replay), so the
 executor only retries non-``ReproError`` failures — exactly the class an
 infrastructure fault (OOM kill, interpreter shutdown, allocator hiccup)
-lands in.
+lands in. For the opposite class — a *deterministic* poison pill used to
+exercise the executor's fail-fast path — pass ``poison=[shard]``, which
+raises :class:`PoisonedShardError` (a
+:class:`~repro.errors.ReproError`) that is never retried.
+
+Process safety
+--------------
+Under ``backend="process"`` the injector crosses a pickle boundary into
+every worker. Pickling keeps the fault *plan* (which attempts to doom)
+but drops the lock and resets the counters, so each worker consults a
+clean copy; the executor ships each shard's counts back in its result
+tuple and folds them into the parent instance via :meth:`absorb`. Counts
+from shards that failed terminally in a worker are lost by design —
+process-backend chaos tests should assert ``total_injected`` only on
+runs that complete.
 """
 
 from __future__ import annotations
@@ -21,9 +35,15 @@ from __future__ import annotations
 import threading
 from typing import Dict, Iterable, Tuple
 
+from repro.errors import ReproError
+
 
 class TransientShardFault(RuntimeError):
     """A simulated transient infrastructure failure inside one shard."""
+
+
+class PoisonedShardError(ReproError):
+    """A simulated *deterministic* shard failure (never retried)."""
 
 
 class FaultInjector:
@@ -32,24 +52,52 @@ class FaultInjector:
     Parameters
     ----------
     fail:
-        Iterable of ``(shard_index, attempt)`` pairs to fail, e.g.
-        ``[(3, 0)]`` kills shard 3's first attempt (its retry succeeds).
+        Iterable of ``(shard_index, attempt)`` pairs to fail transiently,
+        e.g. ``[(3, 0)]`` kills shard 3's first attempt (its retry
+        succeeds).
     fail_all_first_attempts:
         Convenience: fail attempt 0 of every shard (one full retry wave).
+    poison:
+        Iterable of shard indices that fail *deterministically* on every
+        attempt with :class:`PoisonedShardError` — the executor treats
+        this like any library error: no retry, fail fast.
 
     The injector counts what it did (``injected``) and is safe to consult
-    from pool worker threads.
+    from pool worker threads; it pickles into worker processes (plan
+    kept, counters reset — see the module docstring).
     """
 
     def __init__(self, fail: Iterable[Tuple[int, int]] = (),
-                 fail_all_first_attempts: bool = False):
+                 fail_all_first_attempts: bool = False,
+                 poison: Iterable[int] = ()):
         self._fail = {(int(s), int(a)) for s, a in fail}
         self._fail_all_first = bool(fail_all_first_attempts)
+        self._poison = {int(s) for s in poison}
         self._lock = threading.Lock()
         self.injected: Dict[Tuple[int, int], int] = {}
 
+    def __getstate__(self):
+        # Plan only: the lock is unpicklable and the counters must start
+        # empty in each worker so absorb() never double-counts.
+        return {"fail": sorted(self._fail),
+                "fail_all_first": self._fail_all_first,
+                "poison": sorted(self._poison)}
+
+    def __setstate__(self, state):
+        self._fail = set(map(tuple, state["fail"]))
+        self._fail_all_first = state["fail_all_first"]
+        self._poison = set(state["poison"])
+        self._lock = threading.Lock()
+        self.injected = {}
+
     def maybe_fail(self, shard: int, attempt: int) -> None:
-        """Raise :class:`TransientShardFault` if this attempt is doomed."""
+        """Raise the configured fault if this attempt is doomed."""
+        if shard in self._poison:
+            with self._lock:
+                key = (shard, attempt)
+                self.injected[key] = self.injected.get(key, 0) + 1
+            raise PoisonedShardError(
+                f"injected deterministic fault: shard {shard}")
         doomed = ((shard, attempt) in self._fail
                   or (self._fail_all_first and attempt == 0))
         if not doomed:
@@ -60,6 +108,15 @@ class FaultInjector:
         raise TransientShardFault(
             f"injected fault: shard {shard}, attempt {attempt}")
 
+    def absorb(self, injected: Dict[Tuple[int, int], int]) -> None:
+        """Fold a worker-process copy's counts into this instance."""
+        if not injected:
+            return
+        with self._lock:
+            for key, count in injected.items():
+                key = tuple(key)
+                self.injected[key] = self.injected.get(key, 0) + count
+
     @property
     def total_injected(self) -> int:
         with self._lock:
@@ -68,4 +125,5 @@ class FaultInjector:
     def __repr__(self) -> str:
         return (f"FaultInjector(fail={sorted(self._fail)}, "
                 f"fail_all_first_attempts={self._fail_all_first}, "
+                f"poison={sorted(self._poison)}, "
                 f"injected={self.total_injected})")

@@ -3,14 +3,20 @@
 The strongest property the fault-tolerant executor promises: a collection
 that loses any shard to a transient fault and retries it is
 **bit-identical** to the fault-free run at the same ``(seed, chunk_size)``
-— retried shard tasks replay their snapshotted RNG stream. Also covered:
-deterministic (ReproError) failures are never retried, exhausted retries
-surface the original exception, pool-creation failure degrades to inline
-execution, and the stage timers stay exact under concurrent updates.
+— retried shard tasks replay their snapshotted RNG stream, on the thread
+*and* the process backend. Also covered: deterministic (ReproError)
+failures are never retried and fail fast (queued shards are cancelled),
+exhausted retries surface the original exception, a hard-killed worker
+process breaks the pool without leaking shared memory, pool-creation
+failure degrades to inline execution, and the stage timers stay exact
+(and repr-safe) under concurrent updates.
 """
 
+import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 
 import numpy as np
 import pytest
@@ -22,11 +28,16 @@ from repro.core.parallel import ExecutionStats, StageTimings, run_sharded
 from repro.data import normal_dataset
 from repro.errors import ConfigurationError, ProtocolError
 from repro.queries import Query, between
-from repro.robustness import FaultInjector, TransientShardFault
+from repro.robustness import (
+    FaultInjector,
+    PoisonedShardError,
+    TransientShardFault,
+)
 
 from tests.test_parallel_pipeline import (
     assert_same_reports,
     planned_collection,
+    shm_segments,
 )
 
 pytestmark = pytest.mark.faults
@@ -39,33 +50,68 @@ def dataset():
                           rng=2)
 
 
+class KillShardInjector(FaultInjector):
+    """Chaos injector simulating a hard worker death (OOM kill, SIGKILL):
+    the victim shard exits its process with no Python-level cleanup.
+
+    Only safe under ``backend="process"`` — anywhere else ``os._exit``
+    would take the test process down with it.
+    """
+
+    def __init__(self, victim: int):
+        super().__init__()
+        self.victim = victim
+
+    def __getstate__(self):
+        state = super().__getstate__()
+        state["victim"] = self.victim
+        return state
+
+    def __setstate__(self, state):
+        victim = state.pop("victim")
+        super().__setstate__(state)
+        self.victim = victim
+
+    def maybe_fail(self, shard: int, attempt: int) -> None:
+        if shard == self.victim:
+            os._exit(1)
+
+
 class TestRetryBitIdentity:
     def _collect(self, dataset, injector=None, retries=0, workers=4,
-                 chunk_size=1_000, stats=None):
+                 chunk_size=1_000, stats=None, backend="thread"):
         config = FelipConfig(epsilon=1.0)
         plans, assignment = planned_collection(dataset, config, seed=13)
         return collect_reports(
             dataset.records, assignment, plans, config.epsilon, rng=17,
-            workers=workers, chunk_size=chunk_size, retries=retries,
-            fault_injector=injector, exec_stats=stats)
+            workers=workers, backend=backend, chunk_size=chunk_size,
+            retries=retries, fault_injector=injector, exec_stats=stats)
 
+    @pytest.mark.parametrize("backend", ("thread", "process"))
     @pytest.mark.parametrize("doomed_shard", [0, 3, 7])
     def test_single_shard_killed_once_is_bit_identical(self, dataset,
-                                                       doomed_shard):
-        """Losing any single shard once → retried output ≡ fault-free."""
+                                                       doomed_shard,
+                                                       backend):
+        """Losing any single shard once → retried output ≡ fault-free.
+        The fault-free baseline runs on threads, so this also pins the
+        cross-backend half of the determinism contract."""
         baseline = self._collect(dataset)
         injector = FaultInjector(fail=[(doomed_shard, 0)])
         stats = ExecutionStats()
-        faulted = self._collect(dataset, injector, retries=1, stats=stats)
+        faulted = self._collect(dataset, injector, retries=1, stats=stats,
+                                backend=backend)
         assert injector.total_injected == 1
         assert stats.retries == 1
         assert stats.retried_shards == {doomed_shard: 1}
         assert_same_reports(faulted, baseline)
 
-    def test_every_shard_killed_once_is_bit_identical(self, dataset):
+    @pytest.mark.parametrize("backend", ("thread", "process"))
+    def test_every_shard_killed_once_is_bit_identical(self, dataset,
+                                                      backend):
         baseline = self._collect(dataset)
         injector = FaultInjector(fail_all_first_attempts=True)
-        faulted = self._collect(dataset, injector, retries=1)
+        faulted = self._collect(dataset, injector, retries=1,
+                                backend=backend)
         assert injector.total_injected > 1
         assert_same_reports(faulted, baseline)
 
@@ -104,6 +150,69 @@ class TestRetryBitIdentity:
                 collector.observe(dataset.records[start:start + 4_000])
             answers.append(collector.finalize().answer(q))
         assert answers[0] == answers[1]
+
+
+class TestFailFast:
+    def test_poisoned_shard_cancels_unstarted_shards(self):
+        """Satellite regression: a deterministic failure used to let the
+        pool drain every queued shard before surfacing. Now the first
+        terminal error cancels the queue — on a poisoned 64-shard run
+        only a handful of shards ever execute."""
+        executed = []
+        lock = threading.Lock()
+
+        def make(i):
+            def run():
+                with lock:
+                    executed.append(i)
+                time.sleep(0.005)
+                return i
+            return run
+
+        stats = ExecutionStats()
+        with pytest.raises(PoisonedShardError):
+            run_sharded([make(i) for i in range(64)], workers=2,
+                        fault_injector=FaultInjector(poison=[0]),
+                        stats=stats)
+        assert stats.failed_shards == 1
+        # Shard 0 dies on submission-order pickup; without fail-fast all
+        # 63 others would run to completion before the error surfaced.
+        assert len(executed) < 32
+
+    def test_poisoned_shard_is_never_retried(self, dataset):
+        """PoisonedShardError is a ReproError: deterministic, no retry —
+        on both backends (in-worker retry loop included)."""
+        for backend in ("thread", "process"):
+            injector = FaultInjector(poison=[1])
+            with pytest.raises(PoisonedShardError):
+                collect_reports_chaos(dataset, injector, retries=5,
+                                      backend=backend)
+
+    def test_hard_killed_worker_breaks_pool_without_leaks(self, dataset):
+        """A worker dying mid-shard (no Python cleanup at all) must
+        surface as BrokenProcessPool and still leave /dev/shm clean:
+        the parent owns every segment and unlinks in its finally."""
+        config = FelipConfig(epsilon=1.0)
+        plans, assignment = planned_collection(dataset, config, seed=13)
+        before = shm_segments()
+        stats = ExecutionStats()
+        with pytest.raises(BrokenProcessPool):
+            collect_reports(
+                dataset.records, assignment, plans, config.epsilon,
+                rng=17, workers=4, backend="process", chunk_size=1_000,
+                fault_injector=KillShardInjector(victim=2),
+                exec_stats=stats)
+        assert stats.failed_shards >= 1
+        assert shm_segments() <= before
+
+
+def collect_reports_chaos(dataset, injector, retries, backend):
+    config = FelipConfig(epsilon=1.0)
+    plans, assignment = planned_collection(dataset, config, seed=13)
+    return collect_reports(
+        dataset.records, assignment, plans, config.epsilon, rng=17,
+        workers=4, backend=backend, chunk_size=1_000, retries=retries,
+        fault_injector=injector)
 
 
 class TestRetryPolicy:
@@ -210,3 +319,42 @@ class TestStageTimingsConcurrency:
             for future in [pool.submit(bump) for _ in range(workers)]:
                 future.result()
         assert timings.seconds["x"] == workers * rounds
+
+    def test_repr_safe_while_stages_insert(self):
+        """Satellite regression: __repr__ used to iterate the live
+        seconds dict; a timer inserting a brand-new stage concurrently
+        crashed it with "dictionary changed size during iteration". It
+        now renders from the as_dict() snapshot."""
+        timings = StageTimings()
+        stop = threading.Event()
+
+        def hammer():
+            i = 0
+            while not stop.is_set():
+                # Cycling keys keeps the dict small (bounded memory) while
+                # still inserting brand-new keys early on, which is what
+                # used to blow up the live-dict iteration.
+                with timings.time(f"stage-{i % 64}"):
+                    pass
+                i += 1
+
+        thread = threading.Thread(target=hammer)
+        thread.start()
+        try:
+            for _ in range(300):
+                assert repr(timings).startswith("StageTimings(")
+        finally:
+            stop.set()
+            thread.join()
+
+    def test_execution_stats_snapshot_is_a_copy(self):
+        """as_dict() must hand out a copy of retried_shards — callers
+        (robustness_report consumers) mutating the snapshot must not
+        corrupt the live accounting."""
+        stats = ExecutionStats()
+        stats.record_retry(3)
+        stats.record_retry(3)
+        snapshot = stats.as_dict()
+        snapshot["retried_shards"][9] = 99
+        assert stats.as_dict()["retried_shards"] == {3: 2}
+        assert "retries=2" in repr(stats)
