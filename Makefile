@@ -4,7 +4,7 @@
 PY := PYTHONPATH=src python
 
 .PHONY: test test-faults lint bench-kernels bench-pipeline bench-answers \
-	bench-figures
+	bench-figures bench-service
 
 # Tier-1: the gate every PR must keep green. Includes the fault suites
 # (they collect by default; `test-faults` runs just that slice).
@@ -45,6 +45,15 @@ bench-answers:
 	    --benchmark-json=.bench_raw.json
 	$(PY) benchmarks/record.py .bench_raw.json BENCH_answers.json
 	@rm -f .bench_raw.json
+
+# Ingestion-service soak: 10^6 wire clients through the asyncio front
+# door (frame decode → pin check → sanitize → merge with periodic
+# compaction), plus a checkpoint save/restore cycle verified
+# bit-identical. One sustained run, timed directly — the test writes
+# BENCH_service.json itself (throughput, p99 admission latency,
+# checkpoint size and save/restore time).
+bench-service:
+	$(PY) -m pytest benchmarks/test_service_soak.py -m benchmarks -q
 
 # The full figure-regeneration benchmark suite (slow).
 bench-figures:

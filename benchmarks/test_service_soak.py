@@ -1,0 +1,116 @@
+"""Soak: one million wire clients through the asyncio ingestion service.
+
+Unlike the pytest-benchmark micro suites, a soak run measures one long
+sustained stream, so this test times it directly and writes
+``BENCH_service.json`` itself: end-to-end ingest throughput (users/s and
+frames/s through decode → pin check → sanitize → merge, with periodic
+compaction), the p50/p99 per-frame admission latency, and the
+checkpoint cycle (snapshot size, save/restore wall time) at the
+million-user mark — plus a bit-identity check that the restored
+collector finalizes the same estimates, so the recorded numbers are for
+a checkpoint that provably works.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import FelipConfig, StreamingCollector
+from repro.data import normal_dataset
+from repro.fo.adaptive import make_oracle
+from repro.queries import Query, between
+from repro.service import (
+    IngestionService,
+    restore_checkpoint,
+    save_checkpoint,
+)
+from repro.wire import encode_report
+
+TARGET_USERS = 1_000_000
+USERS_PER_FRAME = 500
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+def build_collector(expected_users: int) -> StreamingCollector:
+    schema = normal_dataset(100, num_numerical=2, num_categorical=1,
+                            numerical_domain=32, categorical_domain=4,
+                            rng=5).schema
+    config = FelipConfig(epsilon=1.0, ingest_policy="drop")
+    return StreamingCollector(schema, config, expected_users, rng=7)
+
+
+def client_frames(collector: StreamingCollector, total_users: int):
+    """Pre-encoded honest frames, round-robin over the planned grids."""
+    rng = np.random.default_rng(99)
+    plans = [p for p in collector.plans if p.num_cells >= 2]
+    oracles = {p.key: make_oracle(p.protocol, collector.config.epsilon,
+                                  p.num_cells) for p in plans}
+    frames = []
+    users = 0
+    index = 0
+    while users < total_users:
+        plan = plans[index % len(plans)]
+        report = oracles[plan.key].perturb(
+            rng.integers(0, plan.num_cells, size=USERS_PER_FRAME), rng)
+        frames.append(encode_report(
+            report, protocol=plan.protocol,
+            epsilon=collector.config.epsilon,
+            num_cells=plan.num_cells, key=plan.key))
+        users += USERS_PER_FRAME
+        index += 1
+    return frames
+
+
+def test_service_soak_million_users():
+    collector = build_collector(TARGET_USERS)
+    frames = client_frames(collector, TARGET_USERS)
+    service = IngestionService(collector, max_pending=256,
+                               batch_size=64, compact_every=256)
+
+    async def drive():
+        started = time.perf_counter()
+        async with service:
+            for frame in frames:
+                await service.submit(frame, source="peer=soak:1")
+        return time.perf_counter() - started
+
+    elapsed = asyncio.run(drive())
+    assert collector.observed >= TARGET_USERS
+    assert service.stats.frames_accepted == len(frames)
+
+    query = Query([between("num_0", 4, 20)])
+    expected = collector.finalize().answer(query)
+
+    save_started = time.perf_counter()
+    blob = save_checkpoint(collector)
+    save_elapsed = time.perf_counter() - save_started
+    restore_started = time.perf_counter()
+    resumed = restore_checkpoint(build_collector(TARGET_USERS), blob)
+    restore_elapsed = time.perf_counter() - restore_started
+    assert resumed.finalize().answer(query) == expected
+
+    record = {
+        "target_users": TARGET_USERS,
+        "users_per_frame": USERS_PER_FRAME,
+        "users_ingested": int(collector.observed),
+        "frames_ingested": service.stats.frames_accepted,
+        "bytes_received": service.stats.bytes_received,
+        "compactions": service.stats.compactions,
+        "elapsed_s": elapsed,
+        "users_per_s": collector.observed / elapsed,
+        "frames_per_s": service.stats.frames_accepted / elapsed,
+        "admission_latency_ms": service.stats.latency_summary(),
+        "checkpoint": {
+            "bytes": len(blob),
+            "save_s": save_elapsed,
+            "restore_s": restore_elapsed,
+            "resume_bit_identical": True,
+        },
+    }
+    OUT_PATH.write_text(json.dumps(record, indent=2, sort_keys=True)
+                        + "\n")

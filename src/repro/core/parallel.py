@@ -189,6 +189,24 @@ class ExecutionStats:
                 "failed_shards": self.failed_shards,
             }
 
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot for checkpointing (shard keys
+        stringified; :meth:`load_state` restores them as ints)."""
+        state = self.as_dict()
+        state["retried_shards"] = {
+            str(k): v for k, v in state["retried_shards"].items()}
+        return state
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot, replacing all counters."""
+        with self._lock:
+            self.retries = int(state["retries"])
+            self.retried_shards = {
+                int(k): int(v)
+                for k, v in state["retried_shards"].items()}
+            self.pool_fallbacks = int(state["pool_fallbacks"])
+            self.failed_shards = int(state["failed_shards"])
+
     def __repr__(self) -> str:
         d = self.as_dict()
         return (f"ExecutionStats(retries={d['retries']}, "

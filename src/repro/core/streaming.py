@@ -33,7 +33,12 @@ import numpy as np
 from repro.core.client import GroupReport, _TaskBuilder
 from repro.core.config import FelipConfig
 from repro.core.merge import merge_reports, mergeable_protocol
-from repro.core.parallel import ExecutionStats, resolve_backend, run_sharded
+from repro.core.parallel import (
+    ExecutionStats,
+    chunk_bounds,
+    resolve_backend,
+    run_sharded,
+)
 from repro.core.planner import PlannedGrid, plan_grids
 from repro.core.server import Aggregator
 from repro.errors import ConfigurationError, ProtocolError
@@ -114,6 +119,11 @@ class StreamingCollector:
             p.key: [] for p in self.plans}
         self._group_sizes = np.zeros(len(self.plans), dtype=np.int64)
         self.observed = 0
+        #: users admitted without a report: members of trivial single-cell
+        #: grids, whose frequency vector is known a priori. They never pass
+        #: a sanitizer, so finalize()'s accounting invariant counts them
+        #: separately from ``ingest_stats.accepted_users``.
+        self.trusted_users = 0
         #: ingestion admission control shared by observe()/ingest_report()
         self.ingest_policy = IngestPolicy(mode=config.ingest_policy)
         self.ingest_stats = IngestStats()
@@ -124,11 +134,19 @@ class StreamingCollector:
                        for key, oracle in self._oracles.items()}
         self._group_of = {p.key: g for g, p in enumerate(self.plans)}
 
-    def observe(self, records: np.ndarray, rng: RngLike = None) -> None:
+    def observe(self, records: np.ndarray, rng: RngLike = None) -> int:
         """Ingest one batch of arriving users (``(b, k)`` code matrix).
 
         Each user is assigned a uniformly random group on arrival and
         reports once; group sizes balance in expectation.
+
+        Only *admitted* users count: a report the ingestion policy drops
+        or quarantines contributes nothing to ``observed`` or to its
+        group's size, so ``finalize()``'s ``aggregator.n`` is exactly the
+        population the accumulated reports describe. (Before this held,
+        every dropped report still inflated ``n`` and biased all frequency
+        estimates low.) Returns the number of users admitted from this
+        batch.
         """
         records = np.asarray(records)
         if records.ndim != 2 or records.shape[1] != len(self.schema):
@@ -138,60 +156,91 @@ class StreamingCollector:
         rng = self._rng if rng is None else ensure_rng(rng)
         assignment = rng.integers(0, len(self.plans), size=len(records))
         if self.config.workers > 1 or self.config.workers == 0:
-            self._observe_sharded(records, assignment, rng)
+            accepted = self._observe_sharded(records, assignment, rng)
         else:
-            self._observe_serial(records, assignment, rng)
-        self.observed += len(records)
+            accepted = self._observe_serial(records, assignment, rng)
+        self.observed += accepted
+        return accepted
 
-    def _admit(self, key: Tuple[int, ...], report) -> bool:
-        """Run one report through admission control; accumulate if valid."""
+    def _admit(self, key: Tuple[int, ...], report,
+               source: str = "local") -> int:
+        """Run one report through admission control; accumulate if valid.
+
+        Returns the number of users the accumulated (possibly
+        row-filtered) report carries — 0 when the whole report was
+        rejected.
+        """
         sanitized = sanitize_report(report, self.ingest_policy,
                                     self.ingest_stats,
-                                    expected=self._specs.get(key))
+                                    expected=self._specs.get(key),
+                                    source=source)
         if sanitized is None:
-            return False
+            return 0
         self._batches[key].append(sanitized)
-        return True
+        return report_user_count(sanitized)
+
+    def _admit_trivial(self, g: int, rows: int) -> int:
+        """Account one group's users on a single-cell grid (no report)."""
+        self._group_sizes[g] += rows
+        self.trusted_users += rows
+        return rows
 
     def _observe_serial(self, records: np.ndarray, assignment: np.ndarray,
-                        rng) -> None:
+                        rng) -> int:
         """Legacy single-stream path: all perturbs draw from one rng."""
+        accepted = 0
         for g, plan in enumerate(self.plans):
             rows = records[assignment == g]
-            self._group_sizes[g] += len(rows)
-            if len(rows) == 0 or plan.num_cells < 2:
+            if len(rows) == 0:
+                continue
+            if plan.num_cells < 2:
+                accepted += self._admit_trivial(g, len(rows))
                 continue
             values = plan.grid.encode(rows)
-            self._admit(plan.key,
-                        self._oracles[plan.key].perturb(values, rng))
+            users = self._admit(plan.key,
+                                self._oracles[plan.key].perturb(values,
+                                                                rng))
+            self._group_sizes[g] += users
+            accepted += users
+        return accepted
 
     def _observe_sharded(self, records: np.ndarray,
-                         assignment: np.ndarray, rng) -> None:
+                         assignment: np.ndarray, rng) -> int:
         """Parallel path: per-group spawned streams, reduced in order.
 
         Shares the batch collector's task machinery
         (:class:`repro.core.client._TaskBuilder`): under
         ``config.backend="process"`` the batch's gathered columns travel
         to workers as shared-memory descriptors, exactly like one-shot
-        collection, and the arena is torn down per batch. The backend
-        never changes output: workers rebuild the same deterministic
-        oracle this collector caches and replay the same spawned stream.
+        collection, and the arena is torn down per batch. Groups are
+        split into ``config.chunk_size`` shards exactly like the batch
+        collector (one spawned stream per chunk), so parallelism is not
+        capped at the group count and the output stays the documented
+        pure function of ``(seed, chunk_size)`` — invariant to ``workers``
+        and ``backend``, with ``chunk_size=None`` preserving the one-
+        stream-per-group geometry.
         """
         backend = resolve_backend(self.config.backend,
                                   self.config.workers)
         group_rngs = spawn(rng, len(self.plans))
         builder = _TaskBuilder(use_process=(backend == "process"),
                                ingest=None)
+        accepted = 0
         for g, plan in enumerate(self.plans):
             rows = records[assignment == g]
-            self._group_sizes[g] += len(rows)
-            if len(rows) == 0 or plan.num_cells < 2:
+            if len(rows) == 0:
+                continue
+            if plan.num_cells < 2:
+                accepted += self._admit_trivial(g, len(rows))
                 continue
             columns = [rows[:, t] for t in plan.grid.column_indices]
+            bounds = chunk_bounds(len(rows), self.config.chunk_size)
+            shard_rngs = ([group_rngs[g]] if len(bounds) == 1
+                          else spawn(group_rngs[g], len(bounds)))
             builder.add_perturb(
                 g, plan, self._oracles[plan.key], columns,
                 keys=[(g, t) for t in plan.grid.column_indices],
-                bounds=[(0, len(rows))], shard_rngs=[group_rngs[g]],
+                bounds=bounds, shard_rngs=shard_rngs,
                 epsilon=self.config.epsilon)
         try:
             builder.build()
@@ -202,12 +251,15 @@ class StreamingCollector:
                                   stats=self.exec_stats)
             for index, (g, report) in enumerate(zip(builder.task_group,
                                                     reports)):
-                self._admit(self.plans[g].key,
-                            builder.materialize(report, index))
+                users = self._admit(self.plans[g].key,
+                                    builder.materialize(report, index))
+                self._group_sizes[g] += users
+                accepted += users
         finally:
             builder.cleanup()
+        return accepted
 
-    def ingest_report(self, key, report) -> bool:
+    def ingest_report(self, key, report, source: str = None) -> bool:
         """Admit one externally produced report for the grid ``key``.
 
         This is the wire-facing entry point: the report was *not*
@@ -216,6 +268,11 @@ class StreamingCollector:
         batches — sanitized against the plan's oracle parameters, with
         rejections raising :class:`~repro.errors.IngestError` (``strict``)
         or counted in ``ingest_stats`` (``drop``/``quarantine``).
+
+        ``source`` names the report's origin for the audit trail — the
+        ingestion service passes the wire peer id; it defaults to the
+        target grid key, so every quarantine entry is actionable even for
+        direct calls.
 
         Returns True when the (possibly row-filtered) report was
         accumulated; accepted users count toward ``observed`` and the
@@ -226,12 +283,27 @@ class StreamingCollector:
             raise ProtocolError(
                 f"no planned grid with key {key}; planned keys: "
                 f"{sorted(self._batches)}")
-        if not self._admit(key, report):
+        if source is None:
+            source = f"grid={key}"
+        users = self._admit(key, report, source=source)
+        if users == 0:
             return False
-        users = report_user_count(self._batches[key][-1])
         self._group_sizes[self._group_of[key]] += users
         self.observed += users
         return True
+
+    def compact(self) -> None:
+        """Fold each grid's accumulated reports into one via the monoid.
+
+        Merging is associative, so compaction never changes what
+        ``finalize()`` computes — it only bounds memory on long streams
+        (sufficient-statistic reports collapse to a single vector) and
+        keeps checkpoints small. The ingestion service calls this
+        periodically; it is safe at any point.
+        """
+        for key, batch in self._batches.items():
+            if len(batch) > 1:
+                self._batches[key] = [merge_reports(batch)]
 
     def finalize(self) -> Aggregator:
         """Build a queryable aggregator from everything observed so far.
@@ -240,6 +312,11 @@ class StreamingCollector:
         """
         if self.observed == 0:
             raise ConfigurationError("no users observed yet")
+        accepted = self.ingest_stats.accepted_users + self.trusted_users
+        assert self.observed == accepted, (
+            f"admission accounting out of sync: observed={self.observed} "
+            f"but accepted_users + trusted_users = {accepted}; a report "
+            f"was counted without passing admission control")
         reports = []
         for g, plan in enumerate(self.plans):
             merged = merge_reports(self._batches[plan.key])

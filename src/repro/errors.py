@@ -42,6 +42,26 @@ class IngestError(ReproError):
     """
 
 
+class WireError(ReproError):
+    """A binary wire frame is malformed, truncated, or corrupted.
+
+    Raised by :mod:`repro.wire` when a frame fails structural decoding:
+    bad magic, unsupported version, CRC mismatch, truncation, or a payload
+    that cannot be mapped back to a report. A frame that decodes cleanly
+    but carries forged *parameters* is not a :class:`WireError` — it is
+    handed to the ingestion sanitizers, whose policy decides its fate.
+    """
+
+
+class CheckpointError(ReproError):
+    """A streaming-collector checkpoint is corrupt or mismatched.
+
+    Raised by :mod:`repro.service.checkpoint` when restoring a snapshot
+    into a collector whose plans, schema, or config fingerprint disagree
+    with the one that wrote it, or when the checkpoint bytes fail CRC.
+    """
+
+
 class GridError(ReproError):
     """A grid definition or grid-sizing computation is invalid."""
 

@@ -256,6 +256,7 @@ def _hr_cell_variance(params, num_cells: int) -> float:
 
 register(ProtocolSpec(
     name="hr",
+    wire_code=8,
     factory=HadamardResponse,
     report_type=HRReport,
     merger=_merge_hr,

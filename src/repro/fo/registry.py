@@ -119,6 +119,13 @@ class ProtocolSpec:
         instead of pickling them back; non-array fields travel as pickled
         scalars. ``None`` (the default) is always safe — reports of this
         protocol are then pickled whole across the process boundary.
+    wire_code:
+        Stable one-byte protocol tag for the binary wire codec
+        (:mod:`repro.wire`). Codes are part of the wire format: once a
+        code has shipped it must never be reassigned to a different
+        protocol (retire codes, don't recycle them). ``None`` means
+        reports of this protocol cannot travel over the wire (AHEAD's
+        interactive models have no standalone report).
     interactive_fit:
         ``(planned, column, epsilon, rng) -> report`` for backends that
         consume a whole group interactively instead of a one-shot
@@ -143,12 +150,14 @@ class ProtocolSpec:
     one_d_only: bool = False
     adaptive_candidate: bool = False
     report_layout: Optional[Callable[[FrequencyOracle, int], dict]] = None
+    wire_code: Optional[int] = None
     interactive_fit: Optional[Callable] = None
     grid_estimator: Optional[Callable] = None
 
 
 _REGISTRY: Dict[str, ProtocolSpec] = {}
 _BY_REPORT_TYPE: Dict[type, ProtocolSpec] = {}
+_BY_WIRE_CODE: Dict[int, ProtocolSpec] = {}
 
 #: the pseudo-protocol resolved to a concrete adaptive candidate at
 #: planning time; accepted by name-based predicates, never registered
@@ -184,12 +193,29 @@ def register(spec: ProtocolSpec) -> ProtocolSpec:
         raise ConfigurationError(
             f"protocol {spec.name!r} provides neither an oracle factory "
             f"nor an interactive_fit collection path")
+    if spec.wire_code is not None:
+        if not 1 <= spec.wire_code <= 255:
+            raise ConfigurationError(
+                f"protocol {spec.name!r} wire_code must fit one byte "
+                f"(1..255), got {spec.wire_code}")
+        if spec.wire_code in _BY_WIRE_CODE:
+            raise ConfigurationError(
+                f"wire_code {spec.wire_code} of protocol {spec.name!r} is "
+                f"already taken by "
+                f"{_BY_WIRE_CODE[spec.wire_code].name!r}; wire codes are "
+                f"part of the frame format and must be unique forever")
+        if spec.report_type is None:
+            raise ConfigurationError(
+                f"protocol {spec.name!r} declares wire_code "
+                f"{spec.wire_code} but no report_type to decode into")
     _REGISTRY[spec.name] = spec
     if spec.report_type is not None and \
             spec.report_type not in _BY_REPORT_TYPE:
         # First owner wins: SUE shares OUE's report container, so OUE's
         # spec handles OUEReport merging and sanitizing.
         _BY_REPORT_TYPE[spec.report_type] = spec
+    if spec.wire_code is not None:
+        _BY_WIRE_CODE[spec.wire_code] = spec
     return spec
 
 
@@ -199,10 +225,13 @@ def unregister(name: str) -> None:
     if spec is None:
         return
     _BY_REPORT_TYPE.clear()
+    _BY_WIRE_CODE.clear()
     for other in _REGISTRY.values():
         if other.report_type is not None and \
                 other.report_type not in _BY_REPORT_TYPE:
             _BY_REPORT_TYPE[other.report_type] = other
+        if other.wire_code is not None:
+            _BY_WIRE_CODE[other.wire_code] = other
 
 
 def get(name: str) -> ProtocolSpec:
@@ -235,6 +264,22 @@ def all_specs() -> Tuple[ProtocolSpec, ...]:
 def spec_for_report(report_type: type) -> Optional[ProtocolSpec]:
     """The spec owning a report class, or ``None`` for foreign types."""
     return _BY_REPORT_TYPE.get(report_type)
+
+
+def spec_for_wire_code(code: int) -> Optional[ProtocolSpec]:
+    """The spec registered under a wire protocol tag, or ``None``.
+
+    The binary codec (:mod:`repro.wire`) resolves the frame header's
+    one-byte protocol tag here, so a newly registered protocol with a
+    ``wire_code`` becomes decodable with zero codec edits.
+    """
+    return _BY_WIRE_CODE.get(int(code))
+
+
+def wire_codes() -> Dict[str, int]:
+    """``{protocol name: wire code}`` for every wire-capable protocol."""
+    return {s.name: s.wire_code for s in _REGISTRY.values()
+            if s.wire_code is not None}
 
 
 def adaptive_candidates() -> Tuple[ProtocolSpec, ...]:
@@ -591,6 +636,7 @@ def _estimate_ahead_group(group):
 
 register(ProtocolSpec(
     name="grr",
+    wire_code=1,
     report_layout=_layout_grr,
     factory=GeneralizedRandomizedResponse,
     report_type=GRRReport,
@@ -604,6 +650,7 @@ register(ProtocolSpec(
 
 register(ProtocolSpec(
     name="olh",
+    wire_code=2,
     report_layout=_layout_olh,
     factory=OptimizedLocalHashing,
     report_type=OLHReport,
@@ -616,6 +663,7 @@ register(ProtocolSpec(
 
 register(ProtocolSpec(
     name="oue",
+    wire_code=3,
     report_layout=_layout_oue,
     factory=OptimizedUnaryEncoding,
     report_type=OUEReport,
@@ -627,6 +675,7 @@ register(ProtocolSpec(
 
 register(ProtocolSpec(
     name="sue",
+    wire_code=4,
     report_layout=_layout_oue,
     factory=SymmetricUnaryEncoding,
     report_type=OUEReport,  # SUE perturbs into OUE's container
@@ -638,6 +687,7 @@ register(ProtocolSpec(
 
 register(ProtocolSpec(
     name="she",
+    wire_code=5,
     report_layout=_layout_she,
     factory=SummationHistogramEncoding,
     report_type=SHEReport,
@@ -649,6 +699,7 @@ register(ProtocolSpec(
 
 register(ProtocolSpec(
     name="the",
+    wire_code=6,
     report_layout=_layout_the,
     factory=ThresholdHistogramEncoding,
     report_type=THEReport,
@@ -660,6 +711,7 @@ register(ProtocolSpec(
 
 register(ProtocolSpec(
     name="sw",
+    wire_code=7,
     report_layout=_layout_sw,
     factory=SquareWave,
     report_type=SWReport,

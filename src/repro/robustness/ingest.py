@@ -18,6 +18,7 @@ registry reference the helpers without an import cycle.
 from __future__ import annotations
 
 import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
@@ -76,12 +77,33 @@ class IngestStats:
 
     def __init__(self):
         self._lock = threading.Lock()
+        self._local = threading.local()
         self.accepted_reports = 0
         self.accepted_users = 0
         self.dropped_reports = 0
         self.dropped_users = 0
         self.reasons: Dict[str, int] = {}
+        self.sources: Dict[str, int] = {}
         self.quarantine: List[Dict[str, Any]] = []
+
+    @contextmanager
+    def attributing(self, source: str):
+        """Attribute rejections in this block to ``source``.
+
+        The per-protocol sanitizers call :meth:`record_reject` themselves
+        (row filtering), so the ingestion source — a grid key or a wire
+        peer id — cannot travel through their signatures without breaking
+        every registered :attr:`~repro.fo.registry.ProtocolSpec.sanitizer`.
+        Instead the dispatch driver wraps the sanitizer call in this
+        context manager, and :meth:`record_reject` falls back to the
+        thread-local source when its explicit ``source`` is empty.
+        """
+        previous = getattr(self._local, "source", "")
+        self._local.source = source or previous
+        try:
+            yield self
+        finally:
+            self._local.source = previous
 
     def record_accept(self, users: int) -> None:
         with self._lock:
@@ -90,18 +112,22 @@ class IngestStats:
 
     def record_reject(self, reason: str, users: int,
                       policy: IngestPolicy,
-                      detail: str = "", whole_report: bool = True) -> None:
+                      detail: str = "", whole_report: bool = True,
+                      source: str = "") -> None:
         """Count one rejection; retain an audit entry under quarantine."""
+        source = source or getattr(self._local, "source", "")
         with self._lock:
             self.reasons[reason] = self.reasons.get(reason, 0) + 1
             self.dropped_users += int(users)
             if whole_report:
                 self.dropped_reports += 1
+            if source:
+                self.sources[source] = self.sources.get(source, 0) + 1
             if (policy.mode == "quarantine"
                     and len(self.quarantine) < policy.quarantine_capacity):
                 self.quarantine.append(
                     {"reason": reason, "users": int(users),
-                     "detail": detail})
+                     "detail": detail, "source": source})
 
     def as_dict(self) -> Dict[str, Any]:
         with self._lock:
@@ -111,8 +137,36 @@ class IngestStats:
                 "dropped_reports": self.dropped_reports,
                 "dropped_users": self.dropped_users,
                 "reasons": dict(self.reasons),
+                "rejected_by_source": dict(self.sources),
                 "quarantined": len(self.quarantine),
             }
+
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-serializable snapshot of every counter (checkpointing)."""
+        with self._lock:
+            return {
+                "accepted_reports": self.accepted_reports,
+                "accepted_users": self.accepted_users,
+                "dropped_reports": self.dropped_reports,
+                "dropped_users": self.dropped_users,
+                "reasons": dict(self.reasons),
+                "sources": dict(self.sources),
+                "quarantine": [dict(entry) for entry in self.quarantine],
+            }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot, replacing all counters."""
+        with self._lock:
+            self.accepted_reports = int(state["accepted_reports"])
+            self.accepted_users = int(state["accepted_users"])
+            self.dropped_reports = int(state["dropped_reports"])
+            self.dropped_users = int(state["dropped_users"])
+            self.reasons = {str(k): int(v)
+                            for k, v in state["reasons"].items()}
+            self.sources = {str(k): int(v)
+                            for k, v in state.get("sources", {}).items()}
+            self.quarantine = [dict(entry)
+                               for entry in state.get("quarantine", [])]
 
     def __repr__(self) -> str:
         d = self.as_dict()

@@ -58,7 +58,8 @@ __all__ = [
 
 def sanitize_report(report, policy: IngestPolicy,
                     stats: Optional[IngestStats] = None,
-                    expected: Optional[ReportSpec] = None):
+                    expected: Optional[ReportSpec] = None,
+                    source: str = ""):
     """Validate one untrusted report under ``policy``.
 
     Returns the sanitized report (row-filtered for per-user-row types,
@@ -69,6 +70,11 @@ def sanitize_report(report, policy: IngestPolicy,
     :class:`~repro.fo.registry.ProtocolSpec`; report types without one
     (e.g. a fitted AHEAD model produced inside the trusted pipeline) pass
     through unchanged.
+
+    ``source`` names where the report came from — a grid key for local
+    batches, a wire peer id for the ingestion service — and is attributed
+    to every rejection this call records (quarantine audit entries and the
+    per-source counters in :meth:`IngestStats.as_dict`).
 
     Every rejection is accounted in ``stats`` — there is no code path
     that discards data without either raising or incrementing a counter.
@@ -84,16 +90,18 @@ def sanitize_report(report, policy: IngestPolicy,
     if sanitizer is None:
         stats.record_accept(report_user_count(report))
         return report
-    try:
-        sanitized, users = sanitizer(report, policy, stats, expected)
-    except Reject as reject:
-        users = report_user_count(report)
-        stats.record_reject(reject.reason, users, policy, reject.detail)
-        if policy.mode == "strict":
-            raise IngestError(
-                f"{type(report).__name__} rejected at ingestion "
-                f"({reject.reason}): {reject.detail}") from None
-        return None
+    with stats.attributing(source):
+        try:
+            sanitized, users = sanitizer(report, policy, stats, expected)
+        except Reject as reject:
+            users = report_user_count(report)
+            stats.record_reject(reject.reason, users, policy,
+                                reject.detail, source=source)
+            if policy.mode == "strict":
+                raise IngestError(
+                    f"{type(report).__name__} rejected at ingestion "
+                    f"({reject.reason}): {reject.detail}") from None
+            return None
     if sanitized is not None:
         stats.record_accept(users)
     return sanitized

@@ -1,0 +1,29 @@
+"""Deployment surface: asyncio ingestion service and checkpointing.
+
+:class:`IngestionService` is the front door a deployed aggregator runs —
+it accepts :mod:`repro.wire` frames (directly or over a socket), applies
+backpressure through a bounded queue, validates every frame's header pin
+against the collection plan, and feeds the surviving reports through the
+:class:`~repro.core.StreamingCollector`'s sanitize→merge admission path.
+
+:func:`save_checkpoint` / :func:`restore_checkpoint` snapshot a
+collector's complete streaming state so a killed aggregator resumes
+mid-collection with bit-identical final estimates.
+"""
+
+from repro.service.checkpoint import (
+    CHECKPOINT_VERSION,
+    checkpoint_meta,
+    restore_checkpoint,
+    save_checkpoint,
+)
+from repro.service.ingest import IngestionService, ServiceStats
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "IngestionService",
+    "ServiceStats",
+    "checkpoint_meta",
+    "restore_checkpoint",
+    "save_checkpoint",
+]

@@ -1,0 +1,234 @@
+"""Checkpoint / restore for :class:`~repro.core.StreamingCollector`.
+
+A checkpoint is a single self-contained byte string capturing everything
+the collector's final estimates depend on:
+
+* the merged per-grid reports (compacted first, then re-encoded as
+  standard :mod:`repro.wire` frames — the checkpoint payload *is* the
+  wire format, so there is exactly one serialization of every report
+  type in the codebase);
+* the admission accounting (``observed``, ``trusted_users``, per-group
+  sizes, the full :class:`~repro.robustness.IngestStats` and
+  :class:`~repro.core.parallel.ExecutionStats` state), so
+  ``finalize()``'s accounting invariant and ``robustness_report()``
+  survive a restart;
+* the collector RNG's bit-generator state, so post-restore group
+  assignment and perturbation continue the *same* random stream — a
+  killed-and-resumed collection is bit-identical to an uninterrupted
+  one, not merely statistically equivalent;
+* a plan fingerprint (grid keys, protocols, cell counts, epsilon,
+  ingest mode) that restore validates against the target collector, so
+  a checkpoint can never be replayed into a differently-configured
+  collection.
+
+Layout: a fixed header (magic ``b"FLCK"``, version, meta length, frame
+count), a canonical-JSON meta document, the concatenated report frames,
+and a trailing CRC-32 over everything before it. Corruption anywhere —
+header, meta, frames, or truncation — raises
+:class:`~repro.errors.CheckpointError`.
+
+Compaction before snapshot is what keeps this O(grids), not O(frames):
+the merge monoid folds each grid's accumulated reports into one, and
+because merging is associative and order-preserving (a left fold), the
+folded prefix plus post-restore arrivals reduces to exactly the same
+value — including float summation order — as the uninterrupted stream.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.core.streaming import StreamingCollector
+from repro.errors import CheckpointError, WireError
+from repro.wire import decode_frame, encode_report, frame_length
+
+__all__ = ["CHECKPOINT_VERSION", "checkpoint_meta", "restore_checkpoint",
+           "save_checkpoint"]
+
+MAGIC = b"FLCK"
+CHECKPOINT_VERSION = 1
+
+#: magic, version, meta length (u64), frame count (u32)
+_HEADER = struct.Struct("<4sBQI")
+_CRC = struct.Struct("<I")
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert numpy scalars/arrays for JSON round-tripping."""
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+def _fingerprint(collector: StreamingCollector) -> Dict[str, Any]:
+    """The configuration surface a checkpoint must match to be replayable."""
+    return {
+        "epsilon": float(collector.config.epsilon),
+        "ingest_policy": collector.config.ingest_policy,
+        "num_attributes": len(collector.schema),
+        "plans": [{"key": [int(k) for k in p.key],
+                   "protocol": p.protocol,
+                   "num_cells": int(p.num_cells)}
+                  for p in collector.plans],
+    }
+
+
+def save_checkpoint(collector: StreamingCollector) -> bytes:
+    """Snapshot the collector's full streaming state into bytes.
+
+    Compacts first, so the result carries at most one frame per grid
+    regardless of how many batches have been observed.
+    """
+    collector.compact()
+    frames = []
+    for plan in collector.plans:
+        for report in collector._batches[plan.key]:
+            frames.append(encode_report(
+                report, protocol=plan.protocol,
+                epsilon=collector.config.epsilon,
+                num_cells=plan.num_cells, key=plan.key))
+    rng_state = collector._rng.bit_generator.state
+    meta = {
+        "format_version": CHECKPOINT_VERSION,
+        "fingerprint": _fingerprint(collector),
+        "observed": int(collector.observed),
+        "trusted_users": int(collector.trusted_users),
+        "group_sizes": [int(s) for s in collector._group_sizes],
+        "rng_state": _jsonable(rng_state),
+        "ingest_stats": _jsonable(collector.ingest_stats.state_dict()),
+        "exec_stats": _jsonable(collector.exec_stats.state_dict()),
+    }
+    meta_bytes = json.dumps(meta, sort_keys=True,
+                            separators=(",", ":")).encode("utf-8")
+    body = (_HEADER.pack(MAGIC, CHECKPOINT_VERSION, len(meta_bytes),
+                         len(frames))
+            + meta_bytes + b"".join(frames))
+    return body + _CRC.pack(zlib.crc32(body))
+
+
+def _parse(blob: bytes):
+    """Validate structure + CRC; return (meta, list-of-frame-bytes)."""
+    if len(blob) < _HEADER.size + _CRC.size:
+        raise CheckpointError(
+            f"checkpoint truncated: {len(blob)} bytes")
+    magic, version, meta_len, frame_count = _HEADER.unpack_from(blob, 0)
+    if magic != MAGIC:
+        raise CheckpointError(f"bad checkpoint magic {magic!r}")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {version} (supported: "
+            f"{CHECKPOINT_VERSION})")
+    stored_crc = _CRC.unpack_from(blob, len(blob) - _CRC.size)[0]
+    if zlib.crc32(blob[:-_CRC.size]) != stored_crc:
+        raise CheckpointError("checkpoint CRC mismatch (corrupted)")
+    cursor = _HEADER.size
+    if cursor + meta_len > len(blob) - _CRC.size:
+        raise CheckpointError("checkpoint meta escapes the blob")
+    try:
+        meta = json.loads(blob[cursor:cursor + meta_len].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CheckpointError(
+            f"checkpoint meta is not valid JSON: {exc}") from None
+    cursor += meta_len
+    frames = []
+    end = len(blob) - _CRC.size
+    for index in range(frame_count):
+        try:
+            length = frame_length(blob[cursor:cursor + 16])
+        except WireError as exc:
+            raise CheckpointError(
+                f"checkpoint frame {index} is not a wire frame: "
+                f"{exc}") from None
+        if length is None or cursor + length > end:
+            raise CheckpointError(
+                f"checkpoint frame {index} truncated")
+        frames.append(blob[cursor:cursor + length])
+        cursor += length
+    if cursor != end:
+        raise CheckpointError(
+            f"{end - cursor} trailing bytes after the declared "
+            f"{frame_count} frames")
+    return meta, frames
+
+
+def checkpoint_meta(blob: bytes) -> Dict[str, Any]:
+    """Decode and return a checkpoint's meta document (for inspection)."""
+    meta, _ = _parse(blob)
+    return meta
+
+
+def restore_checkpoint(collector: StreamingCollector,
+                       blob: bytes) -> StreamingCollector:
+    """Load a checkpoint into a freshly constructed collector.
+
+    The target must be empty (nothing observed) and configured
+    identically to the collector that produced the checkpoint — same
+    schema width, epsilon, ingest mode, and planned grids. Any mismatch,
+    truncation, or corruption raises
+    :class:`~repro.errors.CheckpointError`; on success the collector
+    continues the stream exactly where the snapshot left off.
+    """
+    meta, frame_blobs = _parse(blob)
+    if collector.observed or collector.trusted_users or \
+            any(collector._batches.values()):
+        raise CheckpointError(
+            "restore target must be a freshly constructed collector")
+    expected = _fingerprint(collector)
+    if meta.get("fingerprint") != expected:
+        raise CheckpointError(
+            f"checkpoint fingerprint does not match this collector's "
+            f"plan: checkpoint {meta.get('fingerprint')!r} vs expected "
+            f"{expected!r}")
+    sizes = meta["group_sizes"]
+    if len(sizes) != len(collector.plans):
+        raise CheckpointError(
+            f"checkpoint has {len(sizes)} group sizes for "
+            f"{len(collector.plans)} plans")
+
+    reports: Dict[tuple, list] = {p.key: [] for p in collector.plans}
+    plan_by_key = {p.key: p for p in collector.plans}
+    for index, frame_blob in enumerate(frame_blobs):
+        try:
+            frame = decode_frame(frame_blob)
+        except WireError as exc:
+            raise CheckpointError(
+                f"checkpoint frame {index} failed to decode: "
+                f"{exc}") from None
+        plan = plan_by_key.get(frame.key)
+        if plan is None or frame.protocol != plan.protocol or \
+                frame.num_cells != plan.num_cells or \
+                frame.epsilon != collector.config.epsilon:
+            raise CheckpointError(
+                f"checkpoint frame {index} pins "
+                f"({frame.protocol!r}, eps={frame.epsilon!r}, "
+                f"cells={frame.num_cells}, key={frame.key}) which "
+                f"matches no planned grid")
+        reports[frame.key].append(frame.report)
+
+    try:
+        collector._rng.bit_generator.state = meta["rng_state"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(
+            f"checkpoint RNG state does not fit this collector's "
+            f"bit generator: {exc}") from None
+    collector.ingest_stats.load_state(meta["ingest_stats"])
+    collector.exec_stats.load_state(meta["exec_stats"])
+    collector.observed = int(meta["observed"])
+    collector.trusted_users = int(meta["trusted_users"])
+    collector._group_sizes[:] = np.asarray(sizes, dtype=np.int64)
+    for key, batch in reports.items():
+        collector._batches[key] = batch
+    return collector

@@ -1,0 +1,371 @@
+"""Asyncio ingestion front door for wire-encoded ε-LDP reports.
+
+:class:`IngestionService` sits between the network and a
+:class:`~repro.core.StreamingCollector`: producers submit encoded frames
+(or stream them over a socket via :meth:`IngestionService.serve`), a
+single consumer task decodes nothing — frames are decoded at submission
+so malformed bytes are charged to the submitting peer — validates each
+frame's :class:`~repro.robustness.ReportSpec` pin against the collector's
+plan, and batches the reports through the existing sanitize→merge
+admission path.
+
+Backpressure is structural, not advisory: the pending-frame queue is a
+bounded :class:`asyncio.Queue`, so ``await submit(...)`` blocks once the
+consumer falls ``max_pending`` frames behind, propagating the slowdown
+to the socket reader (which stops reading, which fills the kernel
+buffer, which stalls the sender). Nothing is silently shed.
+
+The service periodically calls :meth:`StreamingCollector.compact`, so a
+long-lived stream holds one merged report per grid rather than one per
+frame — this also keeps :mod:`repro.service.checkpoint` snapshots small.
+
+Failure semantics follow the collector's
+:class:`~repro.robustness.IngestPolicy`: under ``drop``/``quarantine``
+bad frames are counted (and attributed to their source) and the stream
+keeps flowing; under ``strict`` the first bad frame fails the collection
+— the consumer stops, and the error re-raises from :meth:`stop` and from
+any subsequent :meth:`submit`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.core.streaming import StreamingCollector
+from repro.errors import IngestError, WireError
+from repro.robustness.ingest import report_user_count
+from repro.wire import FrameDecoder, WireFrame, decode_frame
+
+__all__ = ["IngestionService", "ServiceStats"]
+
+#: sentinel queued by stop() to terminate the consumer after a drain
+_STOP = object()
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1,
+               max(0, int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+class ServiceStats:
+    """Counters and latency percentiles for one ingestion service.
+
+    Latency is measured per frame from submission to admission (queue
+    wait plus sanitize/merge), over a sliding window of the most recent
+    ``latency_window`` frames so a long soak reports current, not
+    lifetime, percentiles.
+    """
+
+    def __init__(self, latency_window: int = 8192):
+        if latency_window < 1:
+            raise ValueError(
+                f"latency_window must be >= 1, got {latency_window}")
+        self.frames_submitted = 0
+        self.frames_accepted = 0
+        self.frames_rejected = 0
+        self.malformed_frames = 0
+        self.users_accepted = 0
+        self.bytes_received = 0
+        self.compactions = 0
+        self.queue_high_watermark = 0
+        self._window = latency_window
+        self._latencies: List[float] = []
+        self._cursor = 0
+
+    def record_latency(self, seconds: float) -> None:
+        if len(self._latencies) < self._window:
+            self._latencies.append(seconds)
+        else:  # overwrite in ring order: O(1), no deque reshuffle
+            self._latencies[self._cursor] = seconds
+            self._cursor = (self._cursor + 1) % self._window
+        self._cursor %= self._window
+
+    def latency_summary(self) -> Dict[str, float]:
+        sample = sorted(self._latencies)
+        return {
+            "count": len(sample),
+            "p50_ms": _percentile(sample, 0.50) * 1e3,
+            "p99_ms": _percentile(sample, 0.99) * 1e3,
+            "max_ms": (sample[-1] if sample else 0.0) * 1e3,
+        }
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "frames_submitted": self.frames_submitted,
+            "frames_accepted": self.frames_accepted,
+            "frames_rejected": self.frames_rejected,
+            "malformed_frames": self.malformed_frames,
+            "users_accepted": self.users_accepted,
+            "bytes_received": self.bytes_received,
+            "compactions": self.compactions,
+            "queue_high_watermark": self.queue_high_watermark,
+            "latency": self.latency_summary(),
+        }
+
+
+class IngestionService:
+    """Bounded-queue asyncio front end over a :class:`StreamingCollector`.
+
+    Parameters
+    ----------
+    collector:
+        The target collector. The service never touches its batch
+        internals — every report goes through
+        :meth:`~repro.core.StreamingCollector.ingest_report`, i.e. the
+        same admission control as local observation.
+    max_pending:
+        Queue bound; ``submit`` awaits once this many frames are queued.
+    batch_size:
+        Maximum frames the consumer admits per scheduling slice before
+        yielding back to the event loop (keeps socket readers live under
+        a flood without interleaving overhead per frame).
+    compact_every:
+        Accepted-frame interval between
+        :meth:`~repro.core.StreamingCollector.compact` calls; ``0``
+        disables periodic compaction.
+    """
+
+    def __init__(self, collector: StreamingCollector, *,
+                 max_pending: int = 1024, batch_size: int = 256,
+                 compact_every: int = 512,
+                 latency_window: int = 8192):
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if compact_every < 0:
+            raise ValueError(
+                f"compact_every must be >= 0, got {compact_every}")
+        self.collector = collector
+        self.max_pending = max_pending
+        self.batch_size = batch_size
+        self.compact_every = compact_every
+        self.stats = ServiceStats(latency_window=latency_window)
+        self._plans = {tuple(p.key): p for p in collector.plans}
+        self._queue: Optional[asyncio.Queue] = None
+        self._consumer: Optional[asyncio.Task] = None
+        self._failure: Optional[BaseException] = None
+        self._since_compact = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    async def start(self) -> "IngestionService":
+        if self._consumer is not None:
+            raise RuntimeError("service already started")
+        self._queue = asyncio.Queue(maxsize=self.max_pending)
+        self._consumer = asyncio.create_task(self._run())
+        return self
+
+    async def stop(self) -> None:
+        """Drain the queue, stop the consumer, re-raise any strict failure."""
+        if self._consumer is None:
+            return
+        await self._queue.put(_STOP)
+        try:
+            await self._consumer
+        finally:
+            self._consumer = None
+            self._queue = None
+        if self._failure is not None:
+            raise self._failure
+
+    async def __aenter__(self) -> "IngestionService":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        # Suppress nothing; a strict-mode failure surfaces unless the
+        # body is already unwinding with its own exception.
+        if exc_type is None:
+            await self.stop()
+        else:
+            try:
+                await self.stop()
+            except Exception:
+                pass
+
+    # ------------------------------------------------------------------
+    # submission
+
+    async def submit(self, frame: Union[bytes, bytearray, WireFrame],
+                     source: str = "wire") -> bool:
+        """Enqueue one frame; awaits under backpressure.
+
+        Accepts either encoded bytes or an already-decoded
+        :class:`~repro.wire.WireFrame` (the socket handler decodes
+        incrementally). Malformed bytes never reach the queue: they are
+        counted against ``source`` and — matching the sanitizer contract
+        — raise :class:`~repro.errors.WireError` only under ``strict``.
+
+        Returns ``True`` when the frame was enqueued.
+        """
+        if self._queue is None:
+            raise RuntimeError("service is not running; call start()")
+        if self._failure is not None:
+            raise self._failure
+        submitted_at = time.monotonic()
+        if not isinstance(frame, WireFrame):
+            nbytes = len(frame)
+            try:
+                frame = decode_frame(bytes(frame))
+            except WireError as exc:
+                self._reject_malformed(nbytes, str(exc), source)
+                if self.collector.ingest_policy.mode == "strict":
+                    raise
+                return False
+        self.stats.frames_submitted += 1
+        self.stats.bytes_received += frame.nbytes
+        await self._queue.put((frame, source, submitted_at))
+        self.stats.queue_high_watermark = max(
+            self.stats.queue_high_watermark, self._queue.qsize())
+        return True
+
+    def _reject_malformed(self, nbytes: int, detail: str,
+                          source: str) -> None:
+        self.stats.frames_submitted += 1
+        self.stats.malformed_frames += 1
+        self.stats.bytes_received += nbytes
+        self.collector.ingest_stats.record_reject(
+            "malformed-frame", 0, self.collector.ingest_policy,
+            detail=detail, source=source)
+
+    # ------------------------------------------------------------------
+    # consumer
+
+    async def _run(self) -> None:
+        stopping = False
+        while not stopping:
+            item = await self._queue.get()
+            batch = [item]
+            # Greedily drain what is already queued, up to batch_size,
+            # then process synchronously — one loop iteration per batch,
+            # not per frame.
+            while len(batch) < self.batch_size:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            for entry in batch:
+                if entry is _STOP:
+                    stopping = True
+                    continue
+                if self._failure is not None:
+                    continue  # strict mode already failed; drain only
+                frame, source, submitted_at = entry
+                try:
+                    self._admit(frame, source)
+                except (IngestError, WireError) as exc:
+                    self._failure = exc
+                finally:
+                    self.stats.record_latency(
+                        time.monotonic() - submitted_at)
+            await asyncio.sleep(0)  # yield so submitters make progress
+
+    def _admit(self, frame: WireFrame, source: str) -> None:
+        """Pin-check one decoded frame, then hand it to the collector."""
+        mismatch = self._pin_mismatch(frame)
+        if mismatch is not None:
+            reason, detail = mismatch
+            self.stats.frames_rejected += 1
+            users = report_user_count(frame.report)
+            self.collector.ingest_stats.record_reject(
+                reason, users, self.collector.ingest_policy,
+                detail=detail, source=source)
+            if self.collector.ingest_policy.mode == "strict":
+                raise IngestError(
+                    f"wire frame from {source} rejected ({reason}): "
+                    f"{detail}")
+            return
+        observed_before = self.collector.observed
+        accepted = self.collector.ingest_report(frame.key, frame.report,
+                                                source=source)
+        if accepted:
+            self.stats.frames_accepted += 1
+            self.stats.users_accepted += (self.collector.observed
+                                          - observed_before)
+            self._since_compact += 1
+            if self.compact_every and \
+                    self._since_compact >= self.compact_every:
+                self.collector.compact()
+                self.stats.compactions += 1
+                self._since_compact = 0
+        else:
+            self.stats.frames_rejected += 1
+
+    def _pin_mismatch(self,
+                      frame: WireFrame) -> Optional[Tuple[str, str]]:
+        """Check the frame's header pin against the collector's plan.
+
+        The pin describes the *collection slot* the frame claims —
+        protocol, epsilon, cell count, grid key — and is validated here,
+        before the report's own declared parameters ever reach a
+        sanitizer. Returns ``(reason, detail)`` on mismatch.
+        """
+        plan = self._plans.get(frame.key)
+        if plan is None:
+            return ("unknown-grid",
+                    f"no planned grid with key {frame.key}")
+        if frame.protocol != plan.protocol:
+            return ("pin-protocol-mismatch",
+                    f"frame claims {frame.protocol!r}, grid {frame.key} "
+                    f"runs {plan.protocol!r}")
+        if frame.num_cells != plan.num_cells:
+            return ("pin-cells-mismatch",
+                    f"frame claims {frame.num_cells} cells, grid "
+                    f"{frame.key} has {plan.num_cells}")
+        # Exact comparison on purpose: honest senders echo the f64 the
+        # aggregator published, so any difference is a forged budget.
+        if frame.epsilon != self.collector.config.epsilon:
+            return ("pin-epsilon-mismatch",
+                    f"frame claims epsilon={frame.epsilon!r}, collection "
+                    f"runs epsilon={self.collector.config.epsilon!r}")
+        return None
+
+    # ------------------------------------------------------------------
+    # socket front end
+
+    async def serve(self, host: str = "127.0.0.1",
+                    port: int = 0) -> "asyncio.AbstractServer":
+        """Listen for frame streams; returns the started server.
+
+        Each connection gets its own :class:`~repro.wire.FrameDecoder`
+        and a ``peer=host:port`` source label, so quarantine entries
+        name the misbehaving sender. A structurally invalid stream
+        (garbage between frames) cannot be resynchronized, so the
+        connection is dropped after the rejection is recorded.
+        """
+        return await asyncio.start_server(self._handle_connection,
+                                          host, port)
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        peername = writer.get_extra_info("peername")
+        source = (f"peer={peername[0]}:{peername[1]}"
+                  if isinstance(peername, tuple) and len(peername) >= 2
+                  else "peer=?")
+        decoder = FrameDecoder()
+        try:
+            while True:
+                chunk = await reader.read(1 << 16)
+                if not chunk:
+                    break
+                try:
+                    for frame in decoder.feed(chunk):
+                        await self.submit(frame, source=source)
+                except WireError as exc:
+                    self._reject_malformed(0, str(exc), source)
+                    break
+        except (IngestError, WireError):
+            pass  # strict-mode failure; surfaces via stop()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
