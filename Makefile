@@ -3,11 +3,12 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test test-faults lint bench-kernels bench-pipeline bench-answers \
-	bench-figures bench-service
+.PHONY: test test-faults test-service lint bench-kernels bench-pipeline \
+	bench-answers bench-figures bench-service
 
-# Tier-1: the gate every PR must keep green. Includes the fault suites
-# (they collect by default; `test-faults` runs just that slice).
+# Tier-1: the gate every PR must keep green. Includes the fault and
+# service suites (they collect by default; `test-faults` and
+# `test-service` run just those slices).
 test:
 	$(PY) -m pytest -x -q
 
@@ -19,6 +20,12 @@ lint:
 # Robustness slice: failure-injection + chaos tests only.
 test-faults:
 	$(PY) -m pytest -m faults -q
+
+# Deployment slice: ingestion service, resilient wire client, per-peer
+# admission, incremental checkpoints, and the chaos kill/restore
+# recovery suites (also part of the default `test` run).
+test-service:
+	$(PY) -m pytest tests/test_service.py tests/test_service_client.py -q
 
 # Micro-primitive benchmarks (tiled OLH kernel, perturb/estimate, HIO
 # answer throughput). Writes BENCH_kernels.json so PRs can diff kernel
@@ -49,9 +56,11 @@ bench-answers:
 # Ingestion-service soak: 10^6 wire clients through the asyncio front
 # door (frame decode → pin check → sanitize → merge with periodic
 # compaction), plus a checkpoint save/restore cycle verified
-# bit-identical. One sustained run, timed directly — the test writes
-# BENCH_service.json itself (throughput, p99 admission latency,
-# checkpoint size and save/restore time).
+# bit-identical, plus a chaos soak (faulted links, mid-stream service
+# kill restored from the latest incremental checkpoint). The tests
+# merge their records into BENCH_service.json themselves (throughput,
+# p99 admission latency, checkpoint size/save/restore time,
+# throughput-under-chaos, recovery-point lag).
 bench-service:
 	$(PY) -m pytest benchmarks/test_service_soak.py -m benchmarks -q
 

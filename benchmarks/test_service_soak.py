@@ -9,6 +9,11 @@ checkpoint cycle (snapshot size, save/restore wall time) at the
 million-user mark — plus a bit-identity check that the restored
 collector finalizes the same estimates, so the recorded numbers are for
 a checkpoint that provably works.
+
+The chaos soak measures the same pipeline under sustained network
+faults plus a mid-stream service kill restored from the latest
+incremental checkpoint: throughput-under-chaos, the recovery-point lag
+paid at the crash, and the same bit-identity bar.
 """
 
 from __future__ import annotations
@@ -24,16 +29,36 @@ from repro.core import FelipConfig, StreamingCollector
 from repro.data import normal_dataset
 from repro.fo.adaptive import make_oracle
 from repro.queries import Query, between
+from repro.robustness import NetworkFaultInjector
 from repro.service import (
     IngestionService,
+    WireClient,
+    checkpoint_meta,
+    latest_checkpoint,
     restore_checkpoint,
     save_checkpoint,
 )
 from repro.wire import encode_report
 
 TARGET_USERS = 1_000_000
+CHAOS_USERS = 200_000
 USERS_PER_FRAME = 500
 OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+def merge_record(key: str, record: dict) -> None:
+    """Fold one suite's record into BENCH_service.json in place."""
+    existing: dict = {}
+    if OUT_PATH.exists():
+        try:
+            existing = json.loads(OUT_PATH.read_text())
+        except (OSError, ValueError):
+            existing = {}
+        if "target_users" in existing:  # pre-chaos flat layout
+            existing = {"soak": existing}
+    existing[key] = record
+    OUT_PATH.write_text(json.dumps(existing, indent=2, sort_keys=True)
+                        + "\n")
 
 
 def build_collector(expected_users: int) -> StreamingCollector:
@@ -112,5 +137,104 @@ def test_service_soak_million_users():
             "resume_bit_identical": True,
         },
     }
-    OUT_PATH.write_text(json.dumps(record, indent=2, sort_keys=True)
-                        + "\n")
+    merge_record("soak", record)
+
+
+def test_service_chaos_soak_kill_and_recover(tmp_path):
+    """Throughput under chaos: faulted links plus a mid-stream kill."""
+    baseline = build_collector(CHAOS_USERS)
+    frames = client_frames(baseline, CHAOS_USERS)
+    half = len(frames) // 2
+    query = Query([between("num_0", 4, 20)])
+
+    async def drive_baseline():
+        async with IngestionService(baseline, compact_every=256) as svc:
+            for frame in frames:
+                await svc.submit(frame, source="peer=chaos:base")
+
+    asyncio.run(drive_baseline())
+    expected = baseline.finalize().answer(query)
+
+    ckpt_dir = tmp_path / "ckpts"
+    collector = build_collector(CHAOS_USERS)
+    faults = NetworkFaultInjector(
+        drop=set(range(23, len(frames), 101)),
+        garble=set(range(57, len(frames), 139)),
+        stall={half + 9: 0.005},
+        disconnect=set(range(83, len(frames), 157)))
+
+    async def drive_chaos():
+        service = IngestionService(collector, max_pending=256,
+                                   batch_size=64, compact_every=256,
+                                   checkpoint_every=64,
+                                   checkpoint_dir=ckpt_dir,
+                                   keep_checkpoints=2)
+        await service.start()
+        server = await service.serve(port=0)
+        port = server.sockets[0].getsockname()[1]
+        client = WireClient("127.0.0.1", port, "chaos-soak",
+                            max_unacked=32, ack_timeout=1.0,
+                            backoff_base=0.01, rng=11,
+                            fault_injector=faults)
+        started = time.perf_counter()
+        for frame in frames[:half]:
+            await client.send(frame)
+        while not service.stats.checkpoints_written:
+            await asyncio.sleep(0.005)
+        lag_at_kill = service.stats.recovery_point_lag
+        await service.abort()  # the crash
+
+        blob = latest_checkpoint(ckpt_dir).read_bytes()
+        restore_started = time.perf_counter()
+        restored = restore_checkpoint(build_collector(CHAOS_USERS), blob)
+        restore_elapsed = time.perf_counter() - restore_started
+        revived = IngestionService(restored, max_pending=256,
+                                   batch_size=64, compact_every=256,
+                                   checkpoint_every=64,
+                                   checkpoint_dir=ckpt_dir,
+                                   keep_checkpoints=2,
+                                   peer_seqs=checkpoint_meta(blob)
+                                   ["extra"]["peer_seqs"])
+        await revived.start()
+        await revived.serve(port=port)
+        for frame in frames[half:]:
+            await client.send(frame)
+        await client.close()
+        await revived.stop()
+        elapsed = time.perf_counter() - started
+        return restored, revived, client, elapsed, lag_at_kill, \
+            restore_elapsed
+
+    restored, revived, client, elapsed, lag_at_kill, restore_elapsed = \
+        asyncio.run(drive_chaos())
+
+    bit_identical = restored.finalize().answer(query) == expected
+    assert bit_identical
+    assert restored.observed == CHAOS_USERS
+
+    record = {
+        "target_users": CHAOS_USERS,
+        "users_per_frame": USERS_PER_FRAME,
+        "users_ingested": int(restored.observed),
+        "elapsed_s": elapsed,
+        "users_per_s_under_chaos": restored.observed / elapsed,
+        "faults_injected": dict(faults.injected),
+        "total_faults": faults.total_injected,
+        "client": {
+            "reconnects": client.stats.reconnects,
+            "frames_resent": client.stats.frames_resent,
+            "ack_stalls": client.stats.ack_stalls,
+        },
+        "service": {
+            "frames_deduplicated": revived.stats.frames_deduplicated,
+            "sequence_gaps": revived.stats.sequence_gaps,
+            "malformed_frames": revived.stats.malformed_frames,
+            "checkpoints_written": revived.stats.checkpoints_written,
+        },
+        "recovery": {
+            "users_lag_at_kill": lag_at_kill,
+            "restore_s": restore_elapsed,
+            "resume_bit_identical": bit_identical,
+        },
+    }
+    merge_record("chaos", record)

@@ -84,6 +84,7 @@ import numpy as np
 
 from repro.core.shm import shared_memory_available
 from repro.errors import ConfigurationError, ReproError
+from repro.robustness.faults import backoff_delay
 
 #: accepted values of the executor ``backend`` knob
 BACKENDS = ("thread", "process", "auto")
@@ -242,7 +243,7 @@ def _worker_attempt(index: int, task: Callable[[], object], retries: int,
             if attempt_no >= retries:
                 raise
             if backoff > 0:
-                time.sleep(backoff * (2 ** attempt_no))
+                time.sleep(backoff_delay(attempt_no, backoff))
         else:
             injected = (dict(fault_injector.injected)
                         if fault_injector is not None

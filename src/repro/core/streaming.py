@@ -292,6 +292,17 @@ class StreamingCollector:
         self.observed += users
         return True
 
+    def is_fresh(self) -> bool:
+        """True while nothing has been observed, ingested, or restored.
+
+        This is the precondition :func:`repro.service.restore_checkpoint`
+        enforces on its target: a checkpoint may only be loaded into a
+        collector indistinguishable from newly constructed, so the
+        restored state is the checkpoint's alone.
+        """
+        return not (self.observed or self.trusted_users
+                    or any(self._batches.values()))
+
     def compact(self) -> None:
         """Fold each grid's accumulated reports into one via the monoid.
 

@@ -53,6 +53,19 @@ class WireError(ReproError):
     """
 
 
+class ClientError(ReproError):
+    """The wire client could not deliver its buffered frames.
+
+    Raised by :class:`repro.service.client.WireClient` when the server
+    stays unreachable past the configured reconnect budget, refuses the
+    session (e.g. the peer is banned), or stops acknowledging frames for
+    longer than the stall budget. Transient disconnects never surface as
+    this error — the client reconnects and retransmits silently; a
+    :class:`ClientError` means delivery genuinely failed and the caller
+    owns whatever is still buffered.
+    """
+
+
 class CheckpointError(ReproError):
     """A streaming-collector checkpoint is corrupt or mismatched.
 

@@ -40,8 +40,10 @@ from repro.robustness.detect import (
 )
 from repro.robustness.faults import (
     FaultInjector,
+    NetworkFaultInjector,
     PoisonedShardError,
     TransientShardFault,
+    backoff_delay,
 )
 from repro.robustness.policy import (
     INGEST_MODES,
@@ -62,6 +64,7 @@ __all__ = [
     "IngestPolicy",
     "IngestStats",
     "MaximalGainAttack",
+    "NetworkFaultInjector",
     "PoisonedShardError",
     "PoisoningAttack",
     "RandomReportAttack",
@@ -69,6 +72,7 @@ __all__ = [
     "ReportSpec",
     "RobustnessFlags",
     "TransientShardFault",
+    "backoff_delay",
     "forge_report",
     "group_imbalance",
     "l1_feasibility",

@@ -1,0 +1,250 @@
+"""Per-peer admission control: rate limits, quotas, and escalating bans.
+
+The ingestion service's bounded queue backpressures *everyone* equally —
+which is exactly the problem when one peer floods: honest senders stall
+behind the flood. This module gives the service a per-peer gate in front
+of the shared queue:
+
+* **token buckets** bound each peer's frame and byte rate. A bucket that
+  runs dry does not shed the frame — it returns the time the peer must
+  wait, and the service sleeps *that peer's connection coroutine* for it.
+  The flood slows to its budget while honest peers, whose buckets stay
+  full, pass straight through.
+* **connection quotas** cap how many concurrent sockets one host may
+  hold, so a connection-churning client cannot exhaust handler tasks.
+* **escalating bans** consume the per-peer rejection attribution the
+  collector already keeps: every ``ban_after`` rejections (malformed
+  bytes, forged pins, sanitizer drops) escalates the peer's ban level,
+  and each ban lasts twice the previous one (capped). A banned peer's
+  connections are closed and new ones refused until the ban lapses.
+
+Determinism: the clock is injectable, all state is plain counters, and
+nothing here randomizes — a chaos test can script a flood and assert the
+exact ban level it produces.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+__all__ = ["PeerAdmission", "PeerLimits", "TokenBucket"]
+
+
+@dataclass(frozen=True)
+class PeerLimits:
+    """Knobs for one service's per-peer admission control.
+
+    A value of ``0`` disables that control: the default instance admits
+    everything, so the service's behavior is unchanged unless limits are
+    asked for explicitly.
+
+    Attributes
+    ----------
+    frames_per_second, bytes_per_second:
+        Sustained per-peer rate ceilings (token-bucket refill rates).
+    burst_frames, burst_bytes:
+        Bucket capacities — how far a peer may briefly exceed the
+        sustained rate before throttling bites.
+    max_connections:
+        Concurrent-socket quota per peer host.
+    ban_after:
+        Rejections attributed to a peer between ban escalations.
+    ban_base_seconds, ban_cap_seconds:
+        First ban duration and the ceiling the doubling stops at.
+    """
+
+    frames_per_second: float = 0.0
+    bytes_per_second: float = 0.0
+    burst_frames: float = 64.0
+    burst_bytes: float = 1 << 20
+    max_connections: int = 0
+    ban_after: int = 0
+    ban_base_seconds: float = 0.5
+    ban_cap_seconds: float = 60.0
+
+    def __post_init__(self) -> None:
+        for name in ("frames_per_second", "bytes_per_second",
+                     "burst_frames", "burst_bytes", "max_connections",
+                     "ban_after", "ban_base_seconds", "ban_cap_seconds"):
+            if getattr(self, name) < 0:
+                raise ValueError(
+                    f"{name} must be >= 0, got {getattr(self, name)}")
+        if self.frames_per_second and self.burst_frames < 1:
+            raise ValueError("burst_frames must admit at least one frame")
+        if self.bytes_per_second and self.burst_bytes < 1:
+            raise ValueError("burst_bytes must admit at least one byte")
+
+
+class TokenBucket:
+    """A deterministic token bucket that reports waits instead of dropping.
+
+    :meth:`request` always *grants* the tokens — going into debt when the
+    bucket is dry — and returns how long the caller must wait before the
+    grant is honest. Debt makes consecutive over-budget requests queue
+    up behind each other (FIFO per peer), which is the throttling
+    behavior the service wants: a flood is serialized down to the refill
+    rate rather than silently shed.
+    """
+
+    def __init__(self, rate: float, capacity: float,
+                 clock: Callable[[], float] = time.monotonic):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.rate = float(rate)
+        self.capacity = float(capacity)
+        self._clock = clock
+        self._tokens = self.capacity
+        self._updated = clock()
+
+    def request(self, amount: float = 1.0) -> float:
+        """Take ``amount`` tokens; return seconds to wait (0 if covered)."""
+        now = self._clock()
+        self._tokens = min(self.capacity,
+                           self._tokens + (now - self._updated) * self.rate)
+        self._updated = now
+        self._tokens -= amount
+        if self._tokens >= 0:
+            return 0.0
+        return -self._tokens / self.rate
+
+    @property
+    def tokens(self) -> float:
+        """Current balance (negative while in debt); no refill applied."""
+        return self._tokens
+
+
+class _PeerState:
+    __slots__ = ("frames", "bytes", "connections", "rejections",
+                 "ban_level", "banned_until")
+
+    def __init__(self, limits: PeerLimits, clock):
+        self.frames = (TokenBucket(limits.frames_per_second,
+                                   limits.burst_frames, clock)
+                       if limits.frames_per_second else None)
+        self.bytes = (TokenBucket(limits.bytes_per_second,
+                                  limits.burst_bytes, clock)
+                      if limits.bytes_per_second else None)
+        self.connections = 0
+        self.rejections = 0
+        self.ban_level = 0
+        self.banned_until = 0.0
+
+
+class PeerAdmission:
+    """Tracks every peer's buckets, quota, and ban state for one service.
+
+    Peer keys are whatever the service attributes traffic to — the remote
+    host for socket connections. State is bounded: at most ``max_peers``
+    peers are tracked, evicting the least recently *active* one, so a
+    rotating-address adversary grows memory no faster than O(max_peers).
+    (Eviction forgets an idle peer's ban level — the bound is explicit
+    and documented rather than an unbounded dict.)
+    """
+
+    def __init__(self, limits: PeerLimits,
+                 clock: Callable[[], float] = time.monotonic,
+                 max_peers: int = 4096):
+        if max_peers < 1:
+            raise ValueError(f"max_peers must be >= 1, got {max_peers}")
+        self.limits = limits
+        self._clock = clock
+        self._max_peers = max_peers
+        self._peers: Dict[str, _PeerState] = {}
+        self.bans_issued = 0
+
+    def _state(self, peer: str) -> _PeerState:
+        state = self._peers.get(peer)
+        if state is None:
+            if len(self._peers) >= self._max_peers:
+                # dict preserves insertion order; re-inserting on access
+                # makes the first entry the least recently active
+                self._peers.pop(next(iter(self._peers)))
+            state = _PeerState(self.limits, self._clock)
+        else:
+            del self._peers[peer]
+        self._peers[peer] = state  # move to most-recent position
+        return state
+
+    # ------------------------------------------------------------------
+    # connection lifecycle
+
+    def connect(self, peer: str) -> Optional[str]:
+        """Admit one new connection; returns a refusal reason or None."""
+        state = self._state(peer)
+        remaining = state.banned_until - self._clock()
+        if remaining > 0:
+            return (f"banned for {remaining:.1f}s "
+                    f"(level {state.ban_level})")
+        if self.limits.max_connections and \
+                state.connections >= self.limits.max_connections:
+            return (f"connection quota ({self.limits.max_connections}) "
+                    f"exceeded")
+        state.connections += 1
+        return None
+
+    def disconnect(self, peer: str) -> None:
+        state = self._peers.get(peer)
+        if state is not None and state.connections > 0:
+            state.connections -= 1
+
+    # ------------------------------------------------------------------
+    # per-frame gates
+
+    def throttle(self, peer: str, nbytes: int) -> float:
+        """Seconds this peer must wait before its next frame is read."""
+        state = self._state(peer)
+        wait = 0.0
+        if state.frames is not None:
+            wait = max(wait, state.frames.request(1.0))
+        if state.bytes is not None:
+            wait = max(wait, state.bytes.request(float(nbytes)))
+        return wait
+
+    def is_banned(self, peer: str) -> bool:
+        state = self._peers.get(peer)
+        return (state is not None
+                and state.banned_until > self._clock())
+
+    def record_rejection(self, peer: str) -> bool:
+        """Attribute one rejection; returns True when it triggers a ban."""
+        if not self.limits.ban_after:
+            return False
+        state = self._state(peer)
+        state.rejections += 1
+        if state.rejections < self.limits.ban_after:
+            return False
+        state.rejections = 0
+        state.ban_level += 1
+        duration = min(
+            self.limits.ban_cap_seconds,
+            self.limits.ban_base_seconds * 2.0 ** (state.ban_level - 1))
+        state.banned_until = self._clock() + duration
+        self.bans_issued += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    def as_dict(self) -> Dict[str, Any]:
+        now = self._clock()
+        banned = {peer: round(state.banned_until - now, 3)
+                  for peer, state in self._peers.items()
+                  if state.banned_until > now}
+        return {
+            "tracked_peers": len(self._peers),
+            "bans_issued": self.bans_issued,
+            "banned": banned,
+            "ban_levels": {peer: state.ban_level
+                           for peer, state in self._peers.items()
+                           if state.ban_level},
+        }
+
+    def __repr__(self) -> str:
+        d = self.as_dict()
+        return (f"PeerAdmission(tracked={d['tracked_peers']}, "
+                f"bans_issued={d['bans_issued']}, "
+                f"banned={sorted(d['banned'])})")

@@ -37,21 +37,32 @@ value — including float summation order — as the uninterrupted stream.
 from __future__ import annotations
 
 import json
+import os
+import re
 import struct
 import zlib
-from typing import Any, Dict
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
 
 import numpy as np
 
+from repro.core.parallel import ExecutionStats
 from repro.core.streaming import StreamingCollector
 from repro.errors import CheckpointError, WireError
+from repro.robustness import IngestStats
 from repro.wire import decode_frame, encode_report, frame_length
 
-__all__ = ["CHECKPOINT_VERSION", "checkpoint_meta", "restore_checkpoint",
-           "save_checkpoint"]
+__all__ = ["CHECKPOINT_VERSION", "checkpoint_index", "checkpoint_meta",
+           "checkpoint_path", "latest_checkpoint", "list_checkpoints",
+           "prune_checkpoints", "restore_checkpoint", "save_checkpoint",
+           "write_checkpoint_file"]
 
 MAGIC = b"FLCK"
 CHECKPOINT_VERSION = 1
+
+#: filenames the service writes: a strictly increasing index, so the
+#: lexicographic and numeric orders agree and "latest" is well defined
+_CHECKPOINT_NAME = re.compile(r"^ckpt-(\d{10})\.flck$")
 
 #: magic, version, meta length (u64), frame count (u32)
 _HEADER = struct.Struct("<4sBQI")
@@ -86,11 +97,19 @@ def _fingerprint(collector: StreamingCollector) -> Dict[str, Any]:
     }
 
 
-def save_checkpoint(collector: StreamingCollector) -> bytes:
+def save_checkpoint(collector: StreamingCollector, *,
+                    extra: Optional[Dict[str, Any]] = None) -> bytes:
     """Snapshot the collector's full streaming state into bytes.
 
     Compacts first, so the result carries at most one frame per grid
     regardless of how many batches have been observed.
+
+    ``extra`` is an optional JSON-serializable document stored verbatim
+    in the checkpoint meta (readable back via :func:`checkpoint_meta`)
+    and ignored by :func:`restore_checkpoint` — the ingestion service
+    uses it to persist its per-client admitted-sequence watermarks, so a
+    restored service resumes duplicate suppression exactly where the
+    snapshot left off.
     """
     collector.compact()
     frames = []
@@ -111,6 +130,8 @@ def save_checkpoint(collector: StreamingCollector) -> bytes:
         "ingest_stats": _jsonable(collector.ingest_stats.state_dict()),
         "exec_stats": _jsonable(collector.exec_stats.state_dict()),
     }
+    if extra is not None:
+        meta["extra"] = _jsonable(extra)
     meta_bytes = json.dumps(meta, sort_keys=True,
                             separators=(",", ":")).encode("utf-8")
     body = (_HEADER.pack(MAGIC, CHECKPOINT_VERSION, len(meta_bytes),
@@ -180,10 +201,18 @@ def restore_checkpoint(collector: StreamingCollector,
     truncation, or corruption raises
     :class:`~repro.errors.CheckpointError`; on success the collector
     continues the stream exactly where the snapshot left off.
+
+    Restore is atomic with respect to the target: *every* field of the
+    checkpoint — frames, RNG state, admission and executor stats — is
+    validated on scratch objects before the first collector attribute is
+    touched, so a failing restore leaves the target exactly as fresh as
+    it arrived (and therefore retryable with a good blob). Without this,
+    a checkpoint whose stats document was corrupt would leave behind a
+    collector with a restored RNG but empty batches — a half-restored
+    hybrid that no longer looks fresh and silently diverges if used.
     """
     meta, frame_blobs = _parse(blob)
-    if collector.observed or collector.trusted_users or \
-            any(collector._batches.values()):
+    if not collector.is_fresh():
         raise CheckpointError(
             "restore target must be a freshly constructed collector")
     expected = _fingerprint(collector)
@@ -218,17 +247,100 @@ def restore_checkpoint(collector: StreamingCollector,
                 f"matches no planned grid")
         reports[frame.key].append(frame.report)
 
+    # Validate-then-mutate: every remaining field is rehearsed on
+    # scratch objects first, so a defect discovered here cannot leave
+    # the collector half-restored.
     try:
-        collector._rng.bit_generator.state = meta["rng_state"]
+        scratch_bg = type(collector._rng.bit_generator)()
+        scratch_bg.state = meta["rng_state"]
     except (KeyError, TypeError, ValueError) as exc:
         raise CheckpointError(
             f"checkpoint RNG state does not fit this collector's "
             f"bit generator: {exc}") from None
+    try:
+        IngestStats().load_state(meta["ingest_stats"])
+        ExecutionStats().load_state(meta["exec_stats"])
+        observed = int(meta["observed"])
+        trusted_users = int(meta["trusted_users"])
+        group_sizes = np.asarray(sizes, dtype=np.int64)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(
+            f"checkpoint stats document is malformed: {exc}") from None
+
+    collector._rng.bit_generator.state = scratch_bg.state
     collector.ingest_stats.load_state(meta["ingest_stats"])
     collector.exec_stats.load_state(meta["exec_stats"])
-    collector.observed = int(meta["observed"])
-    collector.trusted_users = int(meta["trusted_users"])
-    collector._group_sizes[:] = np.asarray(sizes, dtype=np.int64)
+    collector.observed = observed
+    collector.trusted_users = trusted_users
+    collector._group_sizes[:] = group_sizes
     for key, batch in reports.items():
         collector._batches[key] = batch
     return collector
+
+
+# ----------------------------------------------------------------------
+# durable checkpoint files (service-driven incremental snapshots)
+
+def checkpoint_path(checkpoint_dir: Union[str, Path],
+                    index: int) -> Path:
+    """The canonical filename for snapshot number ``index``."""
+    if not 0 <= index <= 9_999_999_999:
+        raise CheckpointError(f"checkpoint index {index} out of range")
+    return Path(checkpoint_dir) / f"ckpt-{index:010d}.flck"
+
+
+def checkpoint_index(path: Union[str, Path]) -> int:
+    """The snapshot number encoded in a checkpoint filename."""
+    match = _CHECKPOINT_NAME.match(Path(path).name)
+    if match is None:
+        raise CheckpointError(
+            f"{Path(path).name!r} is not a checkpoint filename")
+    return int(match.group(1))
+
+
+def list_checkpoints(checkpoint_dir: Union[str, Path]) -> List[Path]:
+    """All checkpoint blobs in ``checkpoint_dir``, oldest first."""
+    directory = Path(checkpoint_dir)
+    if not directory.is_dir():
+        return []
+    return sorted(p for p in directory.iterdir()
+                  if _CHECKPOINT_NAME.match(p.name))
+
+
+def latest_checkpoint(checkpoint_dir: Union[str, Path]) -> Optional[Path]:
+    """Path of the newest checkpoint blob, or None when there is none."""
+    paths = list_checkpoints(checkpoint_dir)
+    return paths[-1] if paths else None
+
+
+def write_checkpoint_file(path: Union[str, Path], blob: bytes) -> Path:
+    """Durably write one checkpoint blob: temp file, fsync, rename.
+
+    The rename is atomic on POSIX, so a crash mid-write leaves either
+    the previous set of checkpoints or the previous set plus a complete
+    new one — never a truncated blob that :func:`restore_checkpoint`
+    would have to reject.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temp = path.with_name(path.name + ".tmp")
+    with open(temp, "wb") as handle:
+        handle.write(blob)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, path)
+    return path
+
+
+def prune_checkpoints(checkpoint_dir: Union[str, Path],
+                      keep: int) -> List[Path]:
+    """Delete all but the newest ``keep`` blobs; returns what was removed."""
+    if keep < 1:
+        raise CheckpointError(f"keep must be >= 1, got {keep}")
+    doomed = list_checkpoints(checkpoint_dir)[:-keep]
+    for path in doomed:
+        try:
+            path.unlink()
+        except OSError:
+            pass  # a vanished blob is already pruned
+    return doomed

@@ -1,0 +1,414 @@
+"""A reconnecting wire client that survives a hostile network.
+
+:class:`WireClient` is the producer half of the sequenced session
+protocol (:mod:`repro.wire.session`): it connects to an
+:class:`~repro.service.IngestionService` socket, introduces itself with
+a hello line naming a stable ``client_id``, and streams encoded report
+frames wrapped in monotonically numbered envelopes. Delivery is
+*effectively exactly once* against arbitrary connection failure:
+
+* every frame is retained in memory until the server reports it
+  **durable** (covered by an on-disk checkpoint) — not merely acked —
+  so even a server that is killed and restored from its last snapshot
+  can be given back exactly the frames the snapshot missed;
+* on every (re)connect the server's handshake reply says which sequence
+  it last *admitted*; the client resends everything after it, in order,
+  and the server's per-client watermark silently drops any overlap — so
+  a connection cut between admit and ack cannot double-count a frame;
+* reconnects use the same jittered exponential backoff schedule
+  (:func:`~repro.robustness.backoff_delay`) as the executor's retry
+  path — one backoff policy for the whole codebase.
+
+Failure surfaces only when the situation is hopeless: the server
+unreachable past the reconnect budget, the session refused (admission
+control ban or version mismatch), or ack progress stalled past the
+stall budget. All of those raise :class:`~repro.errors.ClientError`;
+transient disconnects never do.
+
+The client is deliberately single-flow: one coroutine calls
+:meth:`send` / :meth:`drain` / :meth:`close`; acks are read inline when
+the unacked window fills and during drain, so there is no background
+task to leak or race. Chaos tests drive the send path through a
+:class:`~repro.robustness.NetworkFaultInjector` that deterministically
+drops, garbles, stalls, or disconnects scripted sends.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import time
+from typing import Any, Dict, Optional, Union
+
+from repro.errors import ClientError, WireError
+from repro.rng import ensure_rng
+from repro.robustness.faults import NetworkFaultInjector, backoff_delay
+from repro.service.ingest import LatencyWindow
+from repro.wire import (encode_envelope, hello_line, parse_ack,
+                        parse_session_reply)
+
+__all__ = ["ClientStats", "WireClient"]
+
+
+class ClientStats:
+    """Counters for one wire client, mirroring :class:`ServiceStats`.
+
+    ``ack_latency`` is the send→ack round trip for the most recent
+    window of frames — under chaos this is the client-visible
+    throughput-shaping number, so the soak benchmark reports it.
+    """
+
+    def __init__(self, latency_window: int = 8192):
+        self.frames_sent = 0        # unique frames that hit the socket
+        self.frames_resent = 0      # retransmissions after reconnects
+        self.acks_received = 0
+        self.bytes_sent = 0
+        self.connects = 0
+        self.reconnects = 0
+        self.connect_failures = 0
+        self.ack_stalls = 0
+        self.ack_latency = LatencyWindow(latency_window)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "frames_sent": self.frames_sent,
+            "frames_resent": self.frames_resent,
+            "acks_received": self.acks_received,
+            "bytes_sent": self.bytes_sent,
+            "connects": self.connects,
+            "reconnects": self.reconnects,
+            "connect_failures": self.connect_failures,
+            "ack_stalls": self.ack_stalls,
+            "ack_latency": self.ack_latency.summary(),
+        }
+
+
+class WireClient:
+    """Resilient sequenced-session producer for one ingestion service.
+
+    Parameters
+    ----------
+    host, port:
+        The service socket (as returned by
+        :meth:`~repro.service.IngestionService.serve`).
+    client_id:
+        Stable logical sender identity; the server keys duplicate
+        suppression on it, so it must survive reconnects *and* process
+        restarts that intend to resume the same stream.
+    max_unacked:
+        Soft window: :meth:`send` blocks reading acks once this many
+        frames are outstanding, bounding retained memory and giving the
+        server's backpressure a path to the producer.
+    max_connect_attempts:
+        Consecutive connection failures tolerated before
+        :class:`~repro.errors.ClientError`; the reconnect delay between
+        attempts follows ``backoff_base``/``backoff_cap``/
+        ``backoff_jitter`` via :func:`~repro.robustness.backoff_delay`.
+    ack_timeout, max_ack_stalls:
+        Seconds to wait for each ack line and how many consecutive
+        no-progress rounds (each forcing a reconnect-and-resend) to
+        tolerate before giving up. Covers the dropped-final-frame case
+        that sequence-gap detection cannot see.
+    rng:
+        Seedable jitter source (anything
+        :func:`~repro.rng.ensure_rng` accepts) so chaos tests replay.
+    fault_injector:
+        Optional :class:`~repro.robustness.NetworkFaultInjector`; every
+        socket write consults it, keyed by a global send index.
+    """
+
+    def __init__(self, host: str, port: int, client_id: str, *,
+                 max_unacked: int = 256,
+                 max_connect_attempts: int = 8,
+                 backoff_base: float = 0.05,
+                 backoff_cap: float = 2.0,
+                 backoff_jitter: float = 0.1,
+                 ack_timeout: float = 5.0,
+                 max_ack_stalls: int = 8,
+                 rng=None,
+                 fault_injector: Optional[NetworkFaultInjector] = None):
+        if max_unacked < 1:
+            raise ValueError(f"max_unacked must be >= 1, got {max_unacked}")
+        if max_connect_attempts < 1:
+            raise ValueError(
+                f"max_connect_attempts must be >= 1, "
+                f"got {max_connect_attempts}")
+        if max_ack_stalls < 1:
+            raise ValueError(
+                f"max_ack_stalls must be >= 1, got {max_ack_stalls}")
+        if ack_timeout <= 0:
+            raise ValueError(f"ack_timeout must be > 0, got {ack_timeout}")
+        hello_line(client_id)  # validate eagerly; raises WireError
+        self.host = host
+        self.port = port
+        self.client_id = client_id
+        self.max_unacked = max_unacked
+        self.max_connect_attempts = max_connect_attempts
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.backoff_jitter = backoff_jitter
+        self.ack_timeout = ack_timeout
+        self.max_ack_stalls = max_ack_stalls
+        self.stats = ClientStats()
+        self._rng = ensure_rng(rng)
+        self._faults = fault_injector
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._next_seq = 1           # next sequence number to assign
+        self._acked = 0              # server's admitted watermark
+        self._durable = 0            # server's checkpointed watermark
+        self._conn_sent = 0          # last seq written on this connection
+        self._max_transmitted = 0    # distinguishes sends from resends
+        self._send_index = 0         # global write counter (fault key)
+        self._pending: Dict[int, bytes] = {}   # seq -> encoded frame
+        self._sent_at: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    @property
+    def acked_seq(self) -> int:
+        """Highest sequence the server has reported admitted."""
+        return self._acked
+
+    @property
+    def durable_seq(self) -> int:
+        """Highest sequence the server has reported checkpointed."""
+        return self._durable
+
+    @property
+    def next_seq(self) -> int:
+        return self._next_seq
+
+    @property
+    def pending_frames(self) -> int:
+        """Frames retained because the server has not made them durable."""
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    async def connect(self) -> "WireClient":
+        """Open (or re-open) the session; raises ClientError if hopeless."""
+        await self._ensure_connection()
+        return self
+
+    async def close(self, *, drain: bool = True) -> None:
+        """Drain outstanding frames (by default), then disconnect."""
+        try:
+            if drain:
+                await self.drain()
+        finally:
+            self._drop_connection()
+
+    async def __aenter__(self) -> "WireClient":
+        return await self.connect()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        # Only a clean exit owes the server a full drain; an unwinding
+        # body gets a fast disconnect so its own error surfaces.
+        await self.close(drain=exc_type is None)
+
+    # ------------------------------------------------------------------
+    # sending
+
+    async def send(self, frame: Union[bytes, bytearray]) -> int:
+        """Stream one encoded frame; returns its sequence number.
+
+        ``frame`` is a complete wire frame as produced by
+        :func:`~repro.wire.encode_report` — the client adds only the
+        sequence envelope. The frame is retained until the server
+        reports it durable, the write is pushed through the current
+        connection (reconnecting and resending as needed), and once the
+        unacked window is full the call blocks reading acks — which is
+        where server backpressure reaches the producer.
+        """
+        seq = self._next_seq
+        self._next_seq += 1
+        self._pending[seq] = bytes(frame)
+        await self._pump_out()
+        stalls = 0
+        while self._next_seq - 1 - self._acked >= self.max_unacked:
+            await self._pump_out()
+            stalls = await self._await_progress(stalls)
+        return seq
+
+    async def drain(self) -> None:
+        """Block until every assigned frame has been acked (admitted)."""
+        target = self._next_seq - 1
+        stalls = 0
+        while self._acked < target:
+            await self._pump_out()
+            stalls = await self._await_progress(stalls)
+
+    # ------------------------------------------------------------------
+    # connection machinery
+
+    async def _ensure_connection(self) -> None:
+        if self._writer is not None:
+            return
+        attempt = 0
+        while True:
+            try:
+                reader, writer = await asyncio.open_connection(
+                    self.host, self.port)
+            except (ConnectionError, OSError) as exc:
+                attempt = await self._connect_setback(attempt, exc)
+                continue
+            try:
+                writer.write(hello_line(self.client_id))
+                await writer.drain()
+                reply = await asyncio.wait_for(reader.readline(),
+                                               self.ack_timeout)
+                if not reply:
+                    raise ConnectionResetError(
+                        "server closed during handshake")
+                last, durable = parse_session_reply(reply)
+                break
+            except WireError as exc:
+                # The server answered and said no (ban, quota, version):
+                # retrying would dig the hole deeper, so surface it.
+                self._abandon(writer)
+                raise ClientError(
+                    f"session with {self.host}:{self.port} refused: "
+                    f"{exc}") from exc
+            except (ConnectionError, OSError, TimeoutError) as exc:
+                self._abandon(writer)
+                attempt = await self._connect_setback(attempt, exc)
+        self._reader, self._writer = reader, writer
+        if self.stats.connects:
+            self.stats.reconnects += 1
+        self.stats.connects += 1
+        # The server is authoritative for the admitted watermark: after
+        # a crash-restore it *rewinds*, telling us exactly which
+        # previously-acked frames died with the process memory. We can
+        # always honor a rewind because frames are only forgotten once
+        # durable, and the durable watermark never rewinds (it lives on
+        # disk in the very checkpoint the server restored from).
+        self._acked = last
+        if durable > self._durable:
+            self._durable = durable
+            self._forget_durable()
+        self._conn_sent = last
+
+    async def _connect_setback(self, attempt: int,
+                               exc: BaseException) -> int:
+        self.stats.connect_failures += 1
+        attempt += 1
+        if attempt >= self.max_connect_attempts:
+            raise ClientError(
+                f"{self.host}:{self.port} unreachable after {attempt} "
+                f"connection attempts: {exc}") from exc
+        await asyncio.sleep(backoff_delay(
+            attempt - 1, self.backoff_base, cap=self.backoff_cap,
+            jitter=self.backoff_jitter, rng=self._rng))
+        return attempt
+
+    def _abandon(self, writer: asyncio.StreamWriter) -> None:
+        with contextlib.suppress(Exception):
+            writer.close()
+
+    def _drop_connection(self) -> None:
+        writer, self._reader, self._writer = self._writer, None, None
+        if writer is not None:
+            self._abandon(writer)
+
+    async def _pump_out(self) -> None:
+        """Get every assigned frame onto *some* connection, in order."""
+        failures = 0
+        while True:
+            await self._ensure_connection()
+            try:
+                for seq in range(self._conn_sent + 1, self._next_seq):
+                    await self._write_frame(seq)
+                    self._conn_sent = seq
+                return
+            except (ConnectionError, OSError) as exc:
+                self._drop_connection()
+                failures += 1
+                if failures > self.max_connect_attempts:
+                    raise ClientError(
+                        f"connection to {self.host}:{self.port} died "
+                        f"{failures} times without completing a send: "
+                        f"{exc}") from exc
+
+    async def _write_frame(self, seq: int) -> None:
+        payload = encode_envelope(seq, self._pending[seq])
+        index = self._send_index
+        self._send_index += 1
+        action, stall, disconnect = (
+            self._faults.plan_send(index) if self._faults is not None
+            else (None, 0.0, False))
+        if stall:
+            await asyncio.sleep(stall)
+        self._sent_at[seq] = time.monotonic()
+        if action == "drop":
+            pass  # the bytes vanish; the server sees a sequence gap
+        elif action == "garble":
+            self._writer.write(
+                NetworkFaultInjector.garble_bytes(payload, index))
+        else:
+            self._writer.write(payload)
+        if seq > self._max_transmitted:
+            self.stats.frames_sent += 1
+            self._max_transmitted = seq
+        else:
+            self.stats.frames_resent += 1
+        self.stats.bytes_sent += len(payload)
+        await self._writer.drain()
+        if disconnect:
+            self._drop_connection()
+            raise ConnectionResetError("fault-injected disconnect")
+
+    # ------------------------------------------------------------------
+    # ack processing
+
+    async def _read_ack(self, timeout: float) -> None:
+        if self._reader is None:
+            raise ConnectionResetError("not connected")
+        line = await asyncio.wait_for(self._reader.readline(), timeout)
+        if not line:
+            raise ConnectionResetError("server closed the connection")
+        seq, durable = parse_ack(line)
+        self.stats.acks_received += 1
+        sent_at = self._sent_at.pop(seq, None)
+        if sent_at is not None:
+            self.stats.ack_latency.record(time.monotonic() - sent_at)
+        if seq > self._acked:
+            self._acked = seq
+        if durable > self._durable:
+            self._durable = durable
+            self._forget_durable()
+
+    async def _await_progress(self, stalls: int) -> int:
+        """Read one ack; on any failure, reconnect with backoff.
+
+        Returns the updated consecutive-stall count; raises
+        :class:`ClientError` once it exceeds ``max_ack_stalls``. Any
+        successful ack resets the count — only a genuinely wedged
+        server (or network) exhausts the budget.
+        """
+        try:
+            await self._read_ack(self.ack_timeout)
+            return 0
+        except (ConnectionError, OSError, TimeoutError,
+                WireError) as exc:
+            self._drop_connection()
+            self.stats.ack_stalls += 1
+            stalls += 1
+            if stalls > self.max_ack_stalls:
+                raise ClientError(
+                    f"no ack progress from {self.host}:{self.port} "
+                    f"after {stalls} attempts "
+                    f"(acked={self._acked}, sent={self._next_seq - 1})"
+                ) from exc
+            await asyncio.sleep(backoff_delay(
+                stalls - 1, self.backoff_base, cap=self.backoff_cap,
+                jitter=self.backoff_jitter, rng=self._rng))
+            return stalls
+
+    def _forget_durable(self) -> None:
+        for seq in [s for s in self._pending if s <= self._durable]:
+            del self._pending[seq]
+        for seq in [s for s in self._sent_at if s <= self._durable]:
+            del self._sent_at[seq]

@@ -20,12 +20,34 @@ from repro.wire.codec import (
     encode_report,
     frame_length,
 )
+from repro.wire.session import (
+    SESSION_VERSION,
+    SequencedDecoder,
+    ack_line,
+    encode_envelope,
+    hello_line,
+    parse_ack,
+    parse_hello,
+    parse_session_reply,
+    refusal_line,
+    session_reply,
+)
 
 __all__ = [
     "FRAME_VERSION",
     "FrameDecoder",
+    "SESSION_VERSION",
+    "SequencedDecoder",
     "WireFrame",
+    "ack_line",
     "decode_frame",
+    "encode_envelope",
     "encode_report",
     "frame_length",
+    "hello_line",
+    "parse_ack",
+    "parse_hello",
+    "parse_session_reply",
+    "refusal_line",
+    "session_reply",
 ]
