@@ -3,14 +3,21 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test test-faults test-service lint bench-kernels bench-pipeline \
-	bench-answers bench-figures bench-service
+.PHONY: test test-nojit test-faults test-service lint bench-kernels \
+	bench-pipeline bench-answers bench-figures bench-service
 
 # Tier-1: the gate every PR must keep green. Includes the fault and
 # service suites (they collect by default; `test-faults` and
 # `test-service` run just those slices).
 test:
 	$(PY) -m pytest -x -q
+
+# The whole suite with every compiled kernel backend disabled
+# (REPRO_NO_JIT=1): proves the numpy fallback is complete and that
+# results are bit-identical to the compiled path (the determinism
+# contract makes backend choice unobservable in outputs).
+test-nojit:
+	REPRO_NO_JIT=1 $(PY) -m pytest -x -q
 
 # Static checks: no string-literal protocol dispatch outside the
 # registry (also collected by the default pytest run).

@@ -15,6 +15,7 @@ from repro.fo import (
     OptimizedLocalHashing,
     OptimizedUnaryEncoding,
 )
+from repro.fo import kernels as fo_kernels
 from repro.fo.hashing import mix_seeds, random_seeds, tiled_support_counts
 
 _N = 100_000
@@ -102,6 +103,66 @@ def test_hio_answer_throughput(benchmark):
         return [hio.answer(q) for q in queries]
 
     benchmark(answer_all)
+
+
+# --------------------------------------------------------------------------
+# Compiled-kernel dispatch: the same hot kernel benchmarked once per
+# available backend (the numpy fallback is always one of them), so
+# BENCH_kernels.json records the jit-vs-fallback speedup on this host.
+# Backend choice never changes outputs (bit-identity contract, see
+# tests/test_kernels.py) — only the wall clock should move.
+
+_KERNEL_BACKENDS = fo_kernels.available_backends()
+
+
+@pytest.mark.parametrize("backend", _KERNEL_BACKENDS)
+def test_kernel_ue_accumulate(benchmark, backend, values):
+    rng = np.random.default_rng(10)
+    uniforms = rng.random((_N, _DOMAIN))
+    true_uniforms = rng.random(_N)
+    vals = values.astype(np.int64)
+    with fo_kernels.use_backend(backend):
+        fo_kernels.warm(["ue_accumulate"])
+        benchmark(lambda: fo_kernels.ue_accumulate(
+            uniforms, vals, true_uniforms, 0.6, 0.25))
+
+
+@pytest.mark.parametrize("backend", _KERNEL_BACKENDS)
+def test_kernel_support_counts_d1024(benchmark, backend):
+    rng = np.random.default_rng(11)
+    oracle = OptimizedLocalHashing(1.0, _DOMAIN_LARGE)
+    mixed = mix_seeds(random_seeds(_N, rng))
+    buckets = rng.integers(0, oracle.g, size=_N).astype(np.uint64)
+    candidates = np.arange(_DOMAIN_LARGE, dtype=np.uint64)
+    with fo_kernels.use_backend(backend):
+        fo_kernels.warm(["support_counts"])
+        benchmark(lambda: fo_kernels.support_counts(
+            mixed, buckets, oracle.g, candidates))
+
+
+@pytest.mark.parametrize("backend", _KERNEL_BACKENDS)
+def test_kernel_hr_supports_d1024(benchmark, backend):
+    rng = np.random.default_rng(12)
+    rows = rng.integers(0, 2048, size=_N).astype(np.int64)
+    bits = rng.choice(np.array([-1, 1], dtype=np.int8), size=_N)
+    with fo_kernels.use_backend(backend):
+        fo_kernels.warm(["hr_supports"])
+        benchmark(lambda: fo_kernels.hr_supports(rows, bits, _DOMAIN_LARGE))
+
+
+@pytest.mark.parametrize("backend", _KERNEL_BACKENDS)
+def test_kernel_sw_transform(benchmark, backend):
+    rng = np.random.default_rng(13)
+    b, buckets = 0.3, 64
+    v = rng.random(_N)
+    close = rng.random(_N) < 0.5
+    close_draws = rng.uniform(-b, b, size=int(close.sum()))
+    far_draws = rng.uniform(0.0, 1.0, size=int((~close).sum()))
+    width = (1.0 + 2.0 * b) / buckets
+    with fo_kernels.use_backend(backend):
+        fo_kernels.warm(["sw_transform"])
+        benchmark(lambda: fo_kernels.sw_transform(
+            v, close, close_draws, far_draws, b, width, buckets))
 
 
 def test_oue_round_trip(benchmark, values):

@@ -34,6 +34,7 @@ from repro.data import normal_dataset
 from repro.rng import ensure_rng
 
 N_USERS = 1_000_000
+N_USERS_XL = 10_000_000
 
 
 def _shm_segments():
@@ -89,6 +90,28 @@ def test_collect_sharded_chunked_1m(benchmark, collection, backend):
                                 rng=7, workers=4, backend=backend,
                                 chunk_size=65_536),
         rounds=7, iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.bench_xl
+def test_collect_sharded_10m(benchmark):
+    """n=10^7 collection through the sharded path with compiled kernels.
+
+    The extra-large row the kernel layer is aimed at: one order of
+    magnitude past the standard benchmark, skippable on slow hosts via
+    ``-m 'benchmarks and not bench_xl'``. Materializing the dataset
+    dominates setup, so it is built once here rather than via the
+    module fixture (which the 1m rows share)."""
+    dataset = normal_dataset(N_USERS_XL, num_numerical=2, num_categorical=1,
+                             numerical_domain=64, categorical_domain=8,
+                             rng=2023)
+    config = FelipConfig(epsilon=1.0)
+    plans = plan_grids(dataset.schema, config, dataset.n)
+    assignment = partition_users(dataset.n, len(plans), ensure_rng(2023))
+    benchmark.pedantic(
+        lambda: collect_reports(dataset.records, assignment, plans,
+                                config.epsilon, rng=7, workers=0,
+                                backend="auto"),
+        rounds=3, iterations=1, warmup_rounds=1)
 
 
 @pytest.mark.parametrize("backend", ["thread", "process"])

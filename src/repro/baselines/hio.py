@@ -40,12 +40,12 @@ from repro.baselines.hierarchy import Hierarchy
 from repro.core.partition import partition_users
 from repro.data.dataset import Dataset
 from repro.errors import NotFittedError, QueryError
+from repro.fo import kernels
 from repro.fo.base import validate_epsilon
 from repro.fo.hashing import (
     chain_hash,
     mix_seeds,
     random_seeds,
-    tiled_support_counts,
 )
 from repro.fo.olh import optimal_hash_range
 from repro.queries.predicate import Predicate
@@ -184,10 +184,10 @@ class HIO:
         """Estimate many k-dim intervals of one group in one pass.
 
         The support counting over (terms x users) runs through the shared
-        tiled kernel (:func:`repro.fo.hashing.tiled_support_counts`), so a
-        query's whole term batch costs one memory-bounded numpy sweep
-        instead of one Python iteration per term. The group's mixed seed
-        state is cached, and results are memoized per (combo, interval).
+        kernel layer (:func:`repro.fo.kernels.support_counts`), so a
+        query's whole term batch costs one memory-bounded sweep instead
+        of one Python iteration per term. The group's mixed seed state is
+        cached, and results are memoized per (combo, interval).
         """
         group = self._groups[combo]
         estimates = np.zeros(len(intervals_list))
@@ -196,7 +196,7 @@ class HIO:
         if missing and group.size > 0:
             arr = np.asarray([intervals_list[i] for i in missing],
                              dtype=np.uint64)
-            support = tiled_support_counts(
+            support = kernels.support_counts(
                 group.mixed_seeds, group.buckets, self.g, arr)
             missing_est = ((support / group.size - 1.0 / self.g)
                            / (self.p - 1.0 / self.g))

@@ -116,15 +116,20 @@ def resolve_backend(backend: str, workers: int) -> str:
     """Resolve the ``backend`` knob to a concrete executor backend.
 
     ``"auto"`` picks ``"process"`` when more than one effective worker is
-    requested and ``multiprocessing.shared_memory`` is available, else
-    ``"thread"`` (a single worker runs inline either way, and threads
-    avoid the descriptor plumbing for free).
+    requested, the host actually *has* more than one effective core, and
+    ``multiprocessing.shared_memory`` is available, else ``"thread"`` (a
+    single worker runs inline either way, and threads avoid the
+    descriptor plumbing for free). The core check matters: on a
+    single-core host extra processes cannot run concurrently, so the
+    fork/pickle/shared-memory overhead is pure loss — measured ~2.8x
+    slower than threads at workers=4 in BENCH_pipeline.json.
     """
     if backend not in BACKENDS:
         raise ConfigurationError(
             f"backend must be one of {BACKENDS}, got {backend!r}")
     if backend == "auto":
-        if resolve_workers(workers) > 1 and shared_memory_available():
+        if resolve_workers(workers) > 1 and resolve_workers(0) > 1 \
+                and shared_memory_available():
             return "process"
         return "thread"
     return backend
@@ -348,12 +353,27 @@ def run_sharded(tasks: Sequence[Callable[[], object]],
     return results
 
 
+def _warm_worker_kernels() -> None:
+    """Process-pool initializer: warm the compiled kernel layer once per
+    worker before it takes its first shard, so shared-library load /
+    JIT-compile cost never lands inside a timed shard. Failures are
+    swallowed — the dispatch layer falls back to numpy on its own, and an
+    initializer exception would kill the pool.
+    """
+    try:
+        from repro.fo import kernels
+        kernels.warm()
+    except Exception:  # pragma: no cover - defensive
+        pass
+
+
 def _run_process_pool(tasks: Sequence[ShardTask], workers: int,
                       retries: int, backoff: float, fault_injector,
                       stats: Optional[ExecutionStats]) -> List[object]:
     """Process-pool execution: retry loop in workers, accounting here."""
     try:
-        pool = ProcessPoolExecutor(max_workers=workers)
+        pool = ProcessPoolExecutor(max_workers=workers,
+                                   initializer=_warm_worker_kernels)
     except Exception:
         if stats is not None:
             stats.record_pool_fallback()

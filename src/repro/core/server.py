@@ -46,8 +46,10 @@ from repro.estimation.response_matrix import (
     IPFDiagnostics,
     fit_response_matrix,
 )
+from repro.fo import kernels as fo_kernels
 from repro.fo.adaptive import make_oracle
 from repro.fo.registry import get as protocol_spec
+from repro.fo.registry import kernels_for
 from repro.grids.grid import GridEstimate, predicate_cell_weights
 from repro.postprocess.pipeline import postprocess_grids
 from repro.queries.predicate import Predicate
@@ -97,6 +99,10 @@ class Aggregator:
         self.n = dataset.n
         with self.timings.time("plan"):
             self.plans = plan_grids(self.schema, self.config, dataset.n)
+        with self.timings.time("warm"):
+            # Warm exactly the kernels the planned protocols dispatch to,
+            # so compile/load cost shows up here — never inside collect.
+            fo_kernels.warm(kernels_for(p.protocol for p in self.plans))
         with self.timings.time("collect"):
             if self.config.partition_mode == "budget":
                 # Theorem 5.1 strawman: everyone reports every grid with

@@ -19,6 +19,7 @@ from __future__ import annotations
 import math
 
 from repro.errors import ConfigurationError
+from repro.fo import kernels
 from repro.fo.base import FrequencyOracle
 from repro.fo.registry import ADAPTIVE, adaptive_candidates, get
 
@@ -52,4 +53,11 @@ def make_oracle(protocol: str, epsilon: float,
             f"protocol {protocol!r} has no standalone client-side oracle; "
             f"it collects through its interactive fitting path and cannot "
             f"be instantiated with make_oracle()")
-    return spec.factory(epsilon, domain_size)
+    oracle = spec.factory(epsilon, domain_size)
+    # Warm this protocol's compiled kernels now: make_oracle is the one
+    # choke point every collection path (serial, thread shards, process
+    # workers, streaming) builds oracles through, so compile/load cost
+    # lands here instead of inside the first timed perturb. Idempotent
+    # and cheap once warm.
+    kernels.warm(spec.kernels)
+    return oracle

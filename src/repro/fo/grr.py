@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.fo import kernels
 from repro.fo.base import FrequencyOracle
 from repro.fo.variance import grr_variance
 from repro.errors import ProtocolError
@@ -70,13 +71,15 @@ class GeneralizedRandomizedResponse(FrequencyOracle):
         values = self._check_values(values)
         rng = ensure_rng(rng)
         n = len(values)
-        keep = rng.random(n) < self.p
-        # A uniform draw over the d-1 "other" values: draw from [0, d-1)
-        # and skip past the true value.
+        # Draw here, transform in the kernel: the keep uniforms and the
+        # uniform draw over the d-1 "other" values (from [0, d-1), shifted
+        # past the true value inside the kernel) keep the RNG consumption
+        # order fixed across kernel backends.
+        keep_uniforms = rng.random(n)
         others = rng.integers(0, self.domain_size - 1, size=n)
-        others = others + (others >= values)
-        return GRRReport(values=np.where(keep, values, others),
-                         domain_size=self.domain_size)
+        return GRRReport(
+            values=kernels.grr_apply(values, keep_uniforms, others, self.p),
+            domain_size=self.domain_size)
 
     def estimate(self, report: GRRReport) -> np.ndarray:
         """Φ_GRR (paper Eq. 1): unbias the observed value counts."""

@@ -24,6 +24,7 @@ import numpy as np
 from scipy import stats
 
 from repro.errors import ProtocolError
+from repro.fo import kernels
 from repro.fo.base import FrequencyOracle
 from repro.rng import RngLike, ensure_rng
 
@@ -70,9 +71,10 @@ class SummationHistogramEncoding(FrequencyOracle):
         sums = np.zeros(d, dtype=np.float64)
         for start in range(0, len(values), self._BLOCK):
             block = values[start:start + self._BLOCK]
+            # Laplace draws stay on the Generator; the one-hot add and
+            # the sequential column sum run in the kernel layer.
             noisy = rng.laplace(0.0, self.scale, size=(len(block), d))
-            noisy[np.arange(len(block)), block] += 1.0
-            sums += noisy.sum(axis=0)
+            sums += kernels.he_sum_accumulate(noisy, block)
         return SHEReport(sums=sums, n=len(values))
 
     def estimate(self, report: SHEReport) -> np.ndarray:
@@ -147,8 +149,8 @@ class ThresholdHistogramEncoding(FrequencyOracle):
         for start in range(0, len(values), self._BLOCK):
             block = values[start:start + self._BLOCK]
             noisy = rng.laplace(0.0, self.scale, size=(len(block), d))
-            noisy[np.arange(len(block)), block] += 1.0
-            supports += (noisy > self.threshold).sum(axis=0)
+            supports += kernels.he_threshold_accumulate(noisy, block,
+                                                        self.threshold)
         return THEReport(supports=supports, n=len(values),
                          threshold=self.threshold)
 

@@ -36,6 +36,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.errors import IngestError, ProtocolError
+from repro.fo import kernels
 from repro.fo.base import FrequencyOracle
 from repro.fo.registry import ProtocolSpec, register
 from repro.rng import RngLike, ensure_rng
@@ -68,17 +69,6 @@ def hr_variance(epsilon: float, n: int = 1) -> float:
         raise ProtocolError(f"n must be >= 1, got {n}")
     e = math.exp(epsilon)
     return ((e + 1.0) / (e - 1.0)) ** 2 / n
-
-
-def _parity(x: np.ndarray) -> np.ndarray:
-    """Bit parity of each element of a non-negative int64 array (0 or 1)."""
-    x = x ^ (x >> 32)
-    x = x ^ (x >> 16)
-    x = x ^ (x >> 8)
-    x = x ^ (x >> 4)
-    x = x ^ (x >> 2)
-    x = x ^ (x >> 1)
-    return x & 1
 
 
 @dataclass(frozen=True)
@@ -133,10 +123,6 @@ class HadamardResponse(FrequencyOracle):
 
     name = "hr"
 
-    #: domain values estimated per vectorized tile (bounds peak memory at
-    #: ``n * _TILE`` int64 sign entries regardless of the domain size)
-    _TILE = 256
-
     def __init__(self, epsilon: float, domain_size: int):
         super().__init__(epsilon, domain_size)
         #: Hadamard order; named ``g`` so the generic
@@ -151,25 +137,19 @@ class HadamardResponse(FrequencyOracle):
         values = self._check_values(values)
         rng = ensure_rng(rng)
         n = len(values)
+        # Draw order is fixed (rows, then keep uniforms); the parity and
+        # sign selection run in the kernel layer.
         rows = rng.integers(0, self.g, size=n, dtype=np.int64)
-        truth = 1 - 2 * _parity(rows & (values + 1))
-        keep = rng.random(n) < self.p
-        return HRReport(rows=rows, bits=np.where(keep, truth, -truth),
+        keep_uniforms = rng.random(n)
+        bits = kernels.hr_apply(rows, values, keep_uniforms, self.p)
+        return HRReport(rows=rows, bits=bits,
                         hadamard_order=self.g,
                         domain_size=self.domain_size)
 
     def _supports(self, report: HRReport) -> np.ndarray:
         """``Σ_i y_i · H(j_i, c_v)`` for every domain value ``v``."""
-        rows = report.rows
-        bits = report.bits.astype(np.int64)
-        out = np.empty(self.domain_size, dtype=np.int64)
-        for start in range(0, self.domain_size, self._TILE):
-            cols = np.arange(start + 1,
-                             min(start + self._TILE, self.domain_size) + 1,
-                             dtype=np.int64)
-            signs = 1 - 2 * _parity(rows[:, None] & cols[None, :])
-            out[start:start + len(cols)] = bits @ signs
-        return out
+        return kernels.hr_supports(report.rows, report.bits,
+                                   self.domain_size)
 
     def estimate(self, report: HRReport) -> np.ndarray:
         """Φ_HR: unbias the signed Hadamard projections."""
@@ -265,4 +245,5 @@ register(ProtocolSpec(
     analytic_variance=_hr_analytic,
     cell_variance=_hr_cell_variance,
     adaptive_candidate=True,  # never wins over OLH: (e^ε+1)² ≥ 4e^ε
+    kernels=("hr_apply", "hr_supports"),
 ))

@@ -1,0 +1,433 @@
+"""Compiled-kernel dispatch with a guaranteed numpy fallback.
+
+The hot loops of every frequency oracle — perturb-apply, unary-encoding
+accumulation, support-counting sweeps, SW bucketing, merge folds — are
+defined once in :mod:`repro.fo.kernels.numpy_impl` and optionally
+*replaced* by a compiled implementation at call time:
+
+========  =====================================================
+backend   provided by
+========  =====================================================
+numba     :mod:`numba_impl` — ``@njit(cache=True)``; needs the
+          ``speed`` packaging extra
+cc        :mod:`c_impl` — C source compiled at first use with the
+          host toolchain (``cc``/``gcc``/``clang``), cached as a
+          shared library, loaded via ctypes
+numpy     :mod:`numpy_impl` — always present, always last
+========  =====================================================
+
+Selection is *per kernel*, lazy, and failure-proof: backends are tried
+in preference order (numba → cc → numpy) and any backend that fails to
+import, compile, or load is recorded in :func:`backend_report` and
+skipped — the numpy implementation can never fail to be selected, so the
+library never *requires* a compiler.
+
+Environment switches (read at each resolution, so subprocess tests and
+monkeypatching both work):
+
+* ``REPRO_NO_JIT=1`` (also ``true``/``yes``/``on``) — numpy only.
+* ``REPRO_JIT=<backend>`` — try exactly that backend (then numpy).
+  Unknown names are recorded as errors and degrade to numpy.
+
+**Bit-identity contract.** Every compiled kernel returns bit-identical
+output to its numpy reference on every input: kernels are pure
+transforms of *pre-drawn* random arrays (the orchestration layer owns
+the single ``np.random.Generator`` and the draw order), integer kernels
+share exact modular arithmetic, and float kernels replicate numpy's
+sequential accumulation order without FMA or reassociation. Property
+tests in ``tests/test_kernels.py`` enforce this per kernel and
+end-to-end. Consequently pipeline output remains a pure function of
+``(seed, chunk_size)`` regardless of backend — switching backends is
+never observable in results, only in wall time.
+
+Call :func:`warm` (done automatically by
+:func:`repro.fo.adaptive.make_oracle` and by process-pool worker
+initializers) to force compilation/loading before timed work.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ProtocolError
+from repro.fo.hashing import DEFAULT_TILE_BYTES
+from repro.fo.kernels import c_impl, numba_impl, numpy_impl
+
+#: canonical kernel set — numpy implements all of them by construction
+KERNEL_NAMES: Tuple[str, ...] = tuple(numpy_impl.KERNELS)
+
+#: resolution order; numpy is the mandatory terminal fallback
+BACKEND_PREFERENCE: Tuple[str, ...] = ("numba", "cc", "numpy")
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+_lock = threading.RLock()
+_table: Dict[str, Tuple[str, Callable]] = {}
+_backend_kernels: Dict[str, Dict[str, Callable]] = {}
+_errors: Dict[str, str] = {}
+_warmed: set = set()
+_override: Optional[str] = None
+
+
+def _no_jit() -> bool:
+    return os.environ.get("REPRO_NO_JIT", "").strip().lower() in _TRUTHY
+
+
+def _candidates() -> Tuple[str, ...]:
+    if _override is not None:
+        return ("numpy",) if _override == "numpy" else (_override, "numpy")
+    if _no_jit():
+        return ("numpy",)
+    forced = os.environ.get("REPRO_JIT", "").strip().lower()
+    if forced:
+        if forced in BACKEND_PREFERENCE:
+            return ("numpy",) if forced == "numpy" else (forced, "numpy")
+        _errors.setdefault(
+            forced, f"unknown backend {forced!r} in REPRO_JIT "
+                    f"(known: {', '.join(BACKEND_PREFERENCE)})")
+        return ("numpy",)
+    return BACKEND_PREFERENCE
+
+
+def _load_backend(backend: str) -> Dict[str, Callable]:
+    cached = _backend_kernels.get(backend)
+    if cached is not None:
+        return cached
+    if backend == "numpy":
+        table = dict(numpy_impl.KERNELS)
+    elif backend == "cc":
+        table = c_impl.kernels()
+    elif backend == "numba":
+        table = numba_impl.kernels()
+    else:
+        raise RuntimeError(f"unknown kernel backend {backend!r}")
+    _backend_kernels[backend] = table
+    return table
+
+
+def _resolve(name: str) -> Tuple[str, Callable]:
+    with _lock:
+        cached = _table.get(name)
+        if cached is not None:
+            return cached
+        for backend in _candidates():
+            try:
+                fn = _load_backend(backend)[name]
+            except Exception as exc:
+                _errors[backend] = f"{type(exc).__name__}: {exc}"
+                continue
+            _table[name] = (backend, fn)
+            return backend, fn
+        # Unreachable: loading the numpy table cannot raise and it holds
+        # every KERNEL_NAMES entry. Kept as a hard stop for typos.
+        raise ProtocolError(f"no backend implements kernel {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# Introspection / control surface
+# ---------------------------------------------------------------------------
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Backends that actually load on this host, in preference order
+    (numpy always last). Attempts the load, so this may compile."""
+    out = []
+    with _lock:
+        for backend in BACKEND_PREFERENCE:
+            if backend == "numpy":
+                continue
+            try:
+                _load_backend(backend)
+            except Exception as exc:
+                _errors[backend] = f"{type(exc).__name__}: {exc}"
+                continue
+            out.append(backend)
+    out.append("numpy")
+    return tuple(out)
+
+
+def active_backends() -> Dict[str, str]:
+    """Map every kernel name to the backend that will serve it."""
+    return {name: _resolve(name)[0] for name in KERNEL_NAMES}
+
+
+def backend_report() -> Dict[str, object]:
+    """Diagnostic snapshot: active selection, recorded failures, env."""
+    with _lock:
+        errors = dict(_errors)
+    return {
+        "active": active_backends(),
+        "errors": errors,
+        "override": _override,
+        "no_jit": _no_jit(),
+    }
+
+
+@contextlib.contextmanager
+def use_backend(backend: str):
+    """Force every kernel onto ``backend`` (numpy remains the safety
+    net) within the block. Test/bench hook; not thread-safe against
+    concurrent resolution from other threads."""
+    global _override
+    if backend not in BACKEND_PREFERENCE:
+        raise ProtocolError(
+            f"unknown kernel backend {backend!r}; "
+            f"known: {', '.join(BACKEND_PREFERENCE)}")
+    with _lock:
+        previous = _override
+        _override = backend
+        _table.clear()
+        _warmed.clear()
+    try:
+        yield
+    finally:
+        with _lock:
+            _override = previous
+            _table.clear()
+            _warmed.clear()
+
+
+def reset_for_tests() -> None:
+    """Drop all cached resolutions, warm marks, and recorded errors."""
+    global _override
+    with _lock:
+        _override = None
+        _table.clear()
+        _backend_kernels.clear()
+        _errors.clear()
+        _warmed.clear()
+
+
+# ---------------------------------------------------------------------------
+# Warm-up: force compile/load cost outside timed work
+# ---------------------------------------------------------------------------
+
+
+def _sample_calls() -> Dict[str, Callable[[], None]]:
+    i64 = np.int64
+    f64 = np.float64
+
+    def _grr():
+        grr_apply(np.array([0, 1], i64), np.array([0.1, 0.9]),
+                  np.array([0, 0], i64), 0.5)
+
+    def _ue():
+        ue_accumulate(np.array([[0.1, 0.6, 0.3], [0.8, 0.2, 0.4]], f64),
+                      np.array([0, 2], i64), np.array([0.1, 0.9]),
+                      0.5, 0.25)
+
+    def _he_sum():
+        he_sum_accumulate(np.zeros((2, 3), f64), np.array([0, 1], i64))
+
+    def _he_thr():
+        he_threshold_accumulate(np.zeros((2, 3), f64),
+                                np.array([0, 1], i64), 0.5)
+
+    def _support():
+        support_counts(np.array([1, 2], np.uint64),
+                       np.array([0, 1], np.uint64), 4,
+                       np.arange(2, dtype=np.uint64), DEFAULT_TILE_BYTES)
+
+    def _hr():
+        hr_apply(np.array([1, 2], i64), np.array([0, 1], i64),
+                 np.array([0.1, 0.9]), 0.6)
+
+    def _hr_sup():
+        hr_supports(np.array([1, 2], i64),
+                    np.array([1, -1], np.int8), 3)
+
+    def _sw():
+        sw_transform(np.array([0.2, 0.8]), np.array([True, False]),
+                     np.array([0.05]), np.array([0.3]), 0.25, 0.05, 30)
+
+    def _fold():
+        fold_arrays([np.arange(3, dtype=i64), np.arange(3, dtype=i64)])
+        fold_arrays([np.linspace(0, 1, 3), np.linspace(1, 2, 3)])
+
+    return {
+        "grr_apply": _grr,
+        "ue_accumulate": _ue,
+        "he_sum_accumulate": _he_sum,
+        "he_threshold_accumulate": _he_thr,
+        "support_counts": _support,
+        "hr_apply": _hr,
+        "hr_supports": _hr_sup,
+        "sw_transform": _sw,
+        "fold_arrays": _fold,
+    }
+
+
+def warm(names: Optional[Iterable[str]] = None) -> None:
+    """Resolve and exercise the named kernels (all by default) on tiny
+    inputs so compilation, shared-library loading, and dispatch-table
+    population happen *now* rather than inside a timed or latency-bound
+    region. Idempotent per (backend-selection, kernel)."""
+    wanted = tuple(names) if names is not None else KERNEL_NAMES
+    samples = _sample_calls()
+    for name in wanted:
+        if name in _warmed:
+            continue
+        if name not in samples:
+            raise ProtocolError(f"unknown kernel {name!r}")
+        samples[name]()
+        with _lock:
+            _warmed.add(name)
+
+
+# ---------------------------------------------------------------------------
+# Public kernels: validate + normalize, then dispatch
+# ---------------------------------------------------------------------------
+
+
+def _c(array, dtype) -> np.ndarray:
+    return np.ascontiguousarray(array, dtype=dtype)
+
+
+def _check_values(values: np.ndarray, d: int, kernel: str) -> None:
+    if len(values) and (values.min() < 0 or values.max() >= d):
+        raise ProtocolError(
+            f"{kernel}: encoded values out of range [0, {d})")
+
+
+def grr_apply(values, keep_uniforms, others, p):
+    """GRR response given drawn randomness: keep ``values[i]`` when
+    ``keep_uniforms[i] < p``, else the drawn other value (shifted past
+    the true one)."""
+    values = _c(values, np.int64)
+    keep_uniforms = _c(keep_uniforms, np.float64)
+    others = _c(others, np.int64)
+    if not len(values) == len(keep_uniforms) == len(others):
+        raise ProtocolError("grr_apply: input lengths disagree")
+    return _resolve("grr_apply")[1](values, keep_uniforms, others, float(p))
+
+
+def ue_accumulate(uniforms, values, true_uniforms, p, q):
+    """Unary-encoding per-column 1-counts for one block of users."""
+    uniforms = _c(uniforms, np.float64)
+    values = _c(values, np.int64)
+    true_uniforms = _c(true_uniforms, np.float64)
+    if uniforms.ndim != 2:
+        raise ProtocolError("ue_accumulate: uniforms must be 2-D")
+    n, d = uniforms.shape
+    if not n == len(values) == len(true_uniforms):
+        raise ProtocolError("ue_accumulate: input lengths disagree")
+    _check_values(values, d, "ue_accumulate")
+    return _resolve("ue_accumulate")[1](uniforms, values, true_uniforms,
+                                        float(p), float(q))
+
+
+def he_sum_accumulate(noisy, values):
+    """SHE per-column sums for one block (``noisy`` may be clobbered)."""
+    noisy = _c(noisy, np.float64)
+    values = _c(values, np.int64)
+    if noisy.ndim != 2 or noisy.shape[0] != len(values):
+        raise ProtocolError("he_sum_accumulate: shape mismatch")
+    _check_values(values, noisy.shape[1], "he_sum_accumulate")
+    return _resolve("he_sum_accumulate")[1](noisy, values)
+
+
+def he_threshold_accumulate(noisy, values, threshold):
+    """THE per-column above-threshold counts for one block (``noisy``
+    may be clobbered)."""
+    noisy = _c(noisy, np.float64)
+    values = _c(values, np.int64)
+    if noisy.ndim != 2 or noisy.shape[0] != len(values):
+        raise ProtocolError("he_threshold_accumulate: shape mismatch")
+    _check_values(values, noisy.shape[1], "he_threshold_accumulate")
+    return _resolve("he_threshold_accumulate")[1](noisy, values,
+                                                  float(threshold))
+
+
+def support_counts(mixed_seeds, buckets, hash_range, candidates,
+                   tile_bytes=DEFAULT_TILE_BYTES):
+    """OLH-family support counting: for each candidate row, how many
+    users' hash chains land in their reported bucket. Mirrors
+    :func:`repro.fo.hashing.tiled_support_counts` validation."""
+    hash_range = int(hash_range)
+    if hash_range < 1:
+        raise ProtocolError("support_counts: hash_range must be >= 1")
+    if int(tile_bytes) < 8:
+        raise ProtocolError("support_counts: tile_bytes must be >= 8")
+    mixed_seeds = _c(mixed_seeds, np.uint64)
+    buckets = _c(buckets, np.uint64)
+    candidates = _c(candidates, np.uint64)
+    if mixed_seeds.ndim != 1 or buckets.shape != mixed_seeds.shape:
+        raise ProtocolError(
+            "support_counts: mixed_seeds/buckets must be equal-length 1-D")
+    if candidates.ndim == 1:
+        candidates = candidates.reshape(-1, 1)
+    if candidates.ndim != 2 or candidates.shape[1] < 1:
+        raise ProtocolError(
+            "support_counts: candidates must be (T,) or (T, k>=1)")
+    return _resolve("support_counts")[1](mixed_seeds, buckets, hash_range,
+                                         candidates, int(tile_bytes))
+
+
+def hr_apply(rows, values, keep_uniforms, p):
+    """Hadamard-response ±1 bits given drawn randomness."""
+    rows = _c(rows, np.int64)
+    values = _c(values, np.int64)
+    keep_uniforms = _c(keep_uniforms, np.float64)
+    if not len(rows) == len(values) == len(keep_uniforms):
+        raise ProtocolError("hr_apply: input lengths disagree")
+    return _resolve("hr_apply")[1](rows, values, keep_uniforms, float(p))
+
+
+def hr_supports(rows, bits, domain_size):
+    """HR support sweep ``out[v] = Σ_i bits[i]·H(rows[i], v+1)``."""
+    rows = _c(rows, np.int64)
+    bits = _c(bits, np.int8)
+    domain_size = int(domain_size)
+    if len(rows) != len(bits):
+        raise ProtocolError("hr_supports: input lengths disagree")
+    if domain_size < 0:
+        raise ProtocolError("hr_supports: domain_size must be >= 0")
+    return _resolve("hr_supports")[1](rows, bits, domain_size)
+
+
+def sw_transform(v, close, close_draws, far_draws, b, width, buckets):
+    """Square-wave report synthesis + histogram bucketing given drawn
+    randomness (draw arrays are consumed in user order)."""
+    v = _c(v, np.float64)
+    close = _c(close, np.bool_)
+    close_draws = _c(close_draws, np.float64)
+    far_draws = _c(far_draws, np.float64)
+    buckets = int(buckets)
+    if len(close) != len(v):
+        raise ProtocolError("sw_transform: close mask length disagrees")
+    n_close = int(close.sum())
+    if len(close_draws) != n_close or \
+            len(far_draws) != len(v) - n_close:
+        raise ProtocolError("sw_transform: draw array lengths disagree "
+                            "with the close mask")
+    if buckets < 1:
+        raise ProtocolError("sw_transform: buckets must be >= 1")
+    return _resolve("sw_transform")[1](v, close, close_draws, far_draws,
+                                       float(b), float(width), buckets)
+
+
+def fold_arrays(arrays):
+    """Elementwise left fold ``((a0 + a1) + a2) + …`` of same-shape
+    arrays — the merge monoid's sufficient-statistic addition."""
+    arrays = [np.ascontiguousarray(a) for a in arrays]
+    if not arrays:
+        raise ProtocolError("fold_arrays: need at least one array")
+    shape = arrays[0].shape
+    if any(a.shape != shape for a in arrays[1:]):
+        raise ProtocolError("fold_arrays: array shapes disagree")
+    return _resolve("fold_arrays")[1](arrays)
+
+
+__all__ = [
+    "KERNEL_NAMES", "BACKEND_PREFERENCE",
+    "available_backends", "active_backends", "backend_report",
+    "use_backend", "warm", "reset_for_tests",
+    "grr_apply", "ue_accumulate", "he_sum_accumulate",
+    "he_threshold_accumulate", "support_counts", "hr_apply",
+    "hr_supports", "sw_transform", "fold_arrays",
+]

@@ -1,0 +1,254 @@
+"""Numba backend: ``@njit(cache=True)`` kernels, import-gated.
+
+Numba is an *optional* accelerator (the ``speed`` packaging extra). This
+module imports it inside a try/except; when it is absent — as on the
+current bench hosts — :func:`available` is False and the dispatch layer
+never touches the jitted functions. Nothing else in the package may
+import numba directly.
+
+The jitted loops are line-for-line the same accumulation orders as
+:mod:`repro.fo.kernels.c_impl` (and therefore as numpy's axis-0 reduce),
+preserving the bit-identity contract. ``fastmath`` stays off everywhere:
+it licenses reassociation and FMA contraction, either of which breaks
+float bit-identity.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.fo.kernels import numpy_impl
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+    from numba import njit
+
+    _import_error: Optional[str] = None
+except Exception as exc:  # pragma: no cover
+    numba = None
+    njit = None
+    _import_error = f"{type(exc).__name__}: {exc}"
+
+
+def available() -> bool:
+    return numba is not None
+
+
+def load_error() -> Optional[str]:
+    return _import_error
+
+
+if numba is not None:  # pragma: no cover - requires the speed extra
+
+    _GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+    _MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+    _MIX2 = np.uint64(0x94D049BB133111EB)
+
+    @njit(cache=True)
+    def _sm64(x):
+        x = x + _GOLDEN
+        x = (x ^ (x >> np.uint64(30))) * _MIX1
+        x = (x ^ (x >> np.uint64(27))) * _MIX2
+        return x ^ (x >> np.uint64(31))
+
+    @njit(cache=True)
+    def _grr_apply(values, keep_u, others, p):
+        n = values.shape[0]
+        out = np.empty(n, dtype=np.int64)
+        for i in range(n):
+            other = others[i] + (others[i] >= values[i])
+            out[i] = values[i] if keep_u[i] < p else other
+        return out
+
+    @njit(cache=True)
+    def _ue_accumulate(uniforms, values, true_u, p, q):
+        n, d = uniforms.shape
+        out = np.zeros(d, dtype=np.int64)
+        for i in range(n):
+            for j in range(d):
+                out[j] += uniforms[i, j] < q
+            v = values[i]
+            out[v] += np.int64(true_u[i] < p) - np.int64(uniforms[i, v] < q)
+        return out
+
+    @njit(cache=True)
+    def _he_sum_accumulate(noisy, values):
+        # numpy's axis-0 reduce: +0.0-initialized accumulator, rows added
+        # in order. Zero-init (not first-row assignment) is what makes a
+        # lone -0.0 column sum to +0.0 exactly like numpy; all other
+        # cases are unchanged (0.0 + x == x bitwise for nonzero x).
+        n, d = noisy.shape
+        out = np.zeros(d, dtype=np.float64)
+        for i in range(n):
+            v = values[i]
+            for j in range(d):
+                x = noisy[i, j]
+                if j == v:
+                    x += 1.0
+                out[j] += x
+        return out
+
+    @njit(cache=True)
+    def _he_threshold_accumulate(noisy, values, threshold):
+        n, d = noisy.shape
+        out = np.zeros(d, dtype=np.int64)
+        for i in range(n):
+            v = values[i]
+            for j in range(d):
+                x = noisy[i, j]
+                if j == v:
+                    x += 1.0
+                out[j] += x > threshold
+        return out
+
+    @njit(cache=True)
+    def _support_counts(mixed, buckets, g, pow2, cand):
+        num_candidates, components = cand.shape
+        n = mixed.shape[0]
+        out = np.empty(num_candidates, dtype=np.int64)
+        mask = g - np.uint64(1)
+        for t in range(num_candidates):
+            count = 0
+            for i in range(n):
+                s = mixed[i]
+                for j in range(components):
+                    s = _sm64(s ^ cand[t, j])
+                h = (s & mask) if pow2 else (s % g)
+                count += h == buckets[i]
+            out[t] = count
+        return out
+
+    @njit(cache=True)
+    def _popcount_parity(x):
+        x = x ^ (x >> np.uint64(32))
+        x = x ^ (x >> np.uint64(16))
+        x = x ^ (x >> np.uint64(8))
+        x = x ^ (x >> np.uint64(4))
+        x = x ^ (x >> np.uint64(2))
+        x = x ^ (x >> np.uint64(1))
+        return np.int64(x & np.uint64(1))
+
+    @njit(cache=True)
+    def _hr_apply(rows, values, keep_u, p):
+        n = rows.shape[0]
+        out = np.empty(n, dtype=np.int64)
+        for i in range(n):
+            m = np.uint64(rows[i]) & np.uint64(values[i] + 1)
+            truth = 1 - 2 * _popcount_parity(m)
+            out[i] = truth if keep_u[i] < p else -truth
+        return out
+
+    @njit(cache=True)
+    def _hr_supports(rows, bits, domain_size):
+        n = rows.shape[0]
+        out = np.zeros(domain_size, dtype=np.int64)
+        for i in range(n):
+            row = np.uint64(rows[i])
+            bit = np.int64(bits[i])
+            for v in range(domain_size):
+                m = row & np.uint64(v + 1)
+                out[v] += bit * (1 - 2 * _popcount_parity(m))
+        return out
+
+    @njit(cache=True)
+    def _sw_transform(v, close, close_draws, far_draws, b, width, buckets):
+        n = v.shape[0]
+        out = np.zeros(buckets, dtype=np.int64)
+        ci = 0
+        fi = 0
+        for i in range(n):
+            if close[i]:
+                r = v[i] + close_draws[ci]
+                ci += 1
+            else:
+                u = far_draws[fi]
+                fi += 1
+                fv = v[i]
+                r = (-b + u) if u < fv else (fv + b + (u - fv))
+            f = np.floor((r + b) / width)
+            if not (f >= 0.0):
+                idx = 0
+            elif f >= buckets:
+                idx = buckets - 1
+            else:
+                idx = np.int64(f)
+            out[idx] += 1
+        return out
+
+    @njit(cache=True)
+    def _fold_i64(stacked):
+        k, m = stacked.shape
+        out = stacked[0].copy()
+        for a in range(1, k):
+            for j in range(m):
+                out[j] += stacked[a, j]
+        return out
+
+    @njit(cache=True)
+    def _fold_f64(stacked):
+        k, m = stacked.shape
+        out = stacked[0].copy()
+        for a in range(1, k):
+            for j in range(m):
+                out[j] += stacked[a, j]
+        return out
+
+    def grr_apply(values, keep_uniforms, others, p):
+        return _grr_apply(values, keep_uniforms, others, float(p))
+
+    def ue_accumulate(uniforms, values, true_uniforms, p, q):
+        return _ue_accumulate(uniforms, values, true_uniforms, float(p),
+                              float(q))
+
+    def he_sum_accumulate(noisy, values):
+        return _he_sum_accumulate(noisy, values)
+
+    def he_threshold_accumulate(noisy, values, threshold):
+        return _he_threshold_accumulate(noisy, values, float(threshold))
+
+    def support_counts(mixed_seeds, buckets, hash_range, candidates,
+                       tile_bytes):
+        g = np.uint64(hash_range)
+        pow2 = hash_range & (hash_range - 1) == 0
+        return _support_counts(mixed_seeds, buckets, g, pow2, candidates)
+
+    def hr_apply(rows, values, keep_uniforms, p):
+        return _hr_apply(rows, values, keep_uniforms, float(p))
+
+    def hr_supports(rows, bits, domain_size):
+        return _hr_supports(rows, bits, int(domain_size))
+
+    def sw_transform(v, close, close_draws, far_draws, b, width, buckets):
+        return _sw_transform(v, close, close_draws, far_draws, float(b),
+                             float(width), int(buckets))
+
+    def fold_arrays(arrays):
+        first = arrays[0]
+        uniform = first.dtype in (np.dtype(np.int64), np.dtype(np.float64)) \
+            and all(a.dtype == first.dtype and a.shape == first.shape
+                    for a in arrays[1:])
+        if not uniform:
+            return numpy_impl.fold_arrays(arrays)
+        stacked = np.stack([a.reshape(-1) for a in arrays])
+        fn = _fold_i64 if first.dtype == np.int64 else _fold_f64
+        return fn(stacked).reshape(first.shape)
+
+
+def kernels() -> Dict[str, Callable]:
+    """Return every kernel this backend implements; raises when numba is
+    missing so the dispatch layer records the failure and falls back."""
+    if numba is None:
+        raise RuntimeError(f"numba unavailable: {_import_error}")
+    return {
+        "grr_apply": grr_apply,
+        "ue_accumulate": ue_accumulate,
+        "he_sum_accumulate": he_sum_accumulate,
+        "he_threshold_accumulate": he_threshold_accumulate,
+        "support_counts": support_counts,
+        "hr_apply": hr_apply,
+        "hr_supports": hr_supports,
+        "sw_transform": sw_transform,
+        "fold_arrays": fold_arrays,
+    }

@@ -16,13 +16,13 @@ from functools import cached_property
 import numpy as np
 
 from repro.errors import ProtocolError
+from repro.fo import kernels
 from repro.fo.base import FrequencyOracle
 from repro.fo.hashing import (
     DEFAULT_TILE_BYTES,
     chain_hash,
     mix_seeds,
     random_seeds,
-    tiled_support_counts,
 )
 from repro.fo.variance import olh_variance
 from repro.rng import RngLike, ensure_rng
@@ -114,11 +114,13 @@ class OptimizedLocalHashing(FrequencyOracle):
         n = len(values)
         seeds = random_seeds(n, rng)
         hashed = chain_hash(seeds, [values], self.g).astype(np.int64)
-        keep = rng.random(n) < self.p
+        # Draws stay on the Generator (original order); the keep/other
+        # selection over [0, g) runs in the shared GRR kernel.
+        keep_uniforms = rng.random(n)
         others = rng.integers(0, self.g - 1, size=n)
-        others = others + (others >= hashed)
         return OLHReport(seeds=seeds,
-                         buckets=np.where(keep, hashed, others),
+                         buckets=kernels.grr_apply(hashed, keep_uniforms,
+                                                   others, self.p),
                          hash_range=self.g, domain_size=self.domain_size)
 
     def support_counts(self, report: OLHReport) -> np.ndarray:
@@ -134,7 +136,7 @@ class OptimizedLocalHashing(FrequencyOracle):
         cache = report.__dict__.setdefault("_support_counts", {})
         key = (self.g, self.domain_size)
         if key not in cache:
-            cache[key] = tiled_support_counts(
+            cache[key] = kernels.support_counts(
                 report.mixed_seeds, report.buckets, self.g,
                 np.arange(self.domain_size, dtype=np.uint64),
                 tile_bytes=self.tile_bytes)

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ProtocolError
+from repro.fo import kernels
 from repro.fo.base import FrequencyOracle
 from repro.fo.variance import oue_variance
 from repro.rng import RngLike, ensure_rng
@@ -61,10 +62,12 @@ class OptimizedUnaryEncoding(FrequencyOracle):
         ones = np.zeros(d, dtype=np.int64)
         for start in range(0, len(values), self._BLOCK):
             block = values[start:start + self._BLOCK]
-            bits = rng.random((len(block), d)) < self.q
-            true_one = rng.random(len(block)) < self.p
-            bits[np.arange(len(block)), block] = true_one
-            ones += bits.sum(axis=0)
+            # Draws stay here (in the original consumption order); the
+            # threshold-and-count transform runs in the kernel layer.
+            uniforms = rng.random((len(block), d))
+            true_uniforms = rng.random(len(block))
+            ones += kernels.ue_accumulate(uniforms, block, true_uniforms,
+                                          self.p, self.q)
         return OUEReport(ones=ones, n=len(values))
 
     def estimate(self, report: OUEReport) -> np.ndarray:

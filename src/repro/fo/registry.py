@@ -39,11 +39,12 @@ no other module under ``src/repro`` dispatches on protocol name literals.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError, IngestError, ProtocolError
+from repro.fo import kernels as fo_kernels
 from repro.fo.base import FrequencyOracle
 from repro.fo.grr import GeneralizedRandomizedResponse, GRRReport
 from repro.fo.he import (
@@ -134,6 +135,17 @@ class ProtocolSpec:
         ``(GroupReport) -> GridEstimate`` for backends whose report
         carries its own (data-adaptive) grid structure; ``None`` means
         the aggregator estimates with ``factory(...).estimate(report)``.
+    kernels:
+        Names of the :mod:`repro.fo.kernels` hot-path kernels this
+        protocol dispatches to (perturb transforms, support sweeps,
+        merge folds). Purely declarative — the oracle modules call the
+        kernel layer directly — but it lets
+        :func:`~repro.fo.adaptive.make_oracle`, worker-process
+        initializers, and :func:`kernels_for` warm exactly the kernels a
+        plan will hit before any timed work, so JIT-compile or
+        shared-library-load cost never lands inside a measured stage.
+        Names are validated against
+        :data:`repro.fo.kernels.KERNEL_NAMES` at registration.
     """
 
     name: str
@@ -153,6 +165,7 @@ class ProtocolSpec:
     wire_code: Optional[int] = None
     interactive_fit: Optional[Callable] = None
     grid_estimator: Optional[Callable] = None
+    kernels: Tuple[str, ...] = ()
 
 
 _REGISTRY: Dict[str, ProtocolSpec] = {}
@@ -208,6 +221,11 @@ def register(spec: ProtocolSpec) -> ProtocolSpec:
             raise ConfigurationError(
                 f"protocol {spec.name!r} declares wire_code "
                 f"{spec.wire_code} but no report_type to decode into")
+    unknown = [k for k in spec.kernels if k not in fo_kernels.KERNEL_NAMES]
+    if unknown:
+        raise ConfigurationError(
+            f"protocol {spec.name!r} declares unknown kernels {unknown}; "
+            f"known kernels: {list(fo_kernels.KERNEL_NAMES)}")
     _REGISTRY[spec.name] = spec
     if spec.report_type is not None and \
             spec.report_type not in _BY_REPORT_TYPE:
@@ -292,6 +310,21 @@ def adaptive_candidates() -> Tuple[ProtocolSpec, ...]:
     return tuple(s for s in _REGISTRY.values() if s.adaptive_candidate)
 
 
+def kernels_for(protocols: Iterable[str]) -> Tuple[str, ...]:
+    """The union of hot-path kernel names a set of protocols dispatches
+    to, for targeted :func:`repro.fo.kernels.warm` calls before timed
+    work. The :data:`ADAPTIVE` pseudo-protocol expands to every adaptive
+    candidate (the concrete choice is not known until planning runs).
+    Order follows :data:`repro.fo.kernels.KERNEL_NAMES` for determinism.
+    """
+    wanted = set()
+    for name in protocols:
+        specs = adaptive_candidates() if name == ADAPTIVE else (get(name),)
+        for spec in specs:
+            wanted.update(spec.kernels)
+    return tuple(k for k in fo_kernels.KERNEL_NAMES if k in wanted)
+
+
 def pinnable_protocol_names() -> Tuple[str, ...]:
     """Names valid in ``FelipConfig.protocols`` (not 1-D-only backends)."""
     return tuple(n for n, s in _REGISTRY.items() if not s.one_d_only)
@@ -338,16 +371,18 @@ def _merge_oue(reports: Sequence[OUEReport]) -> OUEReport:
     first = reports[0]
     if any(len(r.ones) != len(first.ones) for r in reports):
         raise ProtocolError("cannot merge OUE reports across domains")
-    return OUEReport(ones=sum(r.ones for r in reports),
-                     n=sum(r.n for r in reports))
+    return OUEReport(
+        ones=fo_kernels.fold_arrays([r.ones for r in reports]),
+        n=sum(r.n for r in reports))
 
 
 def _merge_she(reports: Sequence[SHEReport]) -> SHEReport:
     first = reports[0]
     if any(len(r.sums) != len(first.sums) for r in reports):
         raise ProtocolError("cannot merge SHE reports across domains")
-    return SHEReport(sums=sum(r.sums for r in reports),
-                     n=sum(r.n for r in reports))
+    return SHEReport(
+        sums=fo_kernels.fold_arrays([r.sums for r in reports]),
+        n=sum(r.n for r in reports))
 
 
 def _merge_the(reports: Sequence[THEReport]) -> THEReport:
@@ -356,9 +391,10 @@ def _merge_the(reports: Sequence[THEReport]) -> THEReport:
            or abs(r.threshold - first.threshold) > 1e-12
            for r in reports):
         raise ProtocolError("cannot merge THE reports across configs")
-    return THEReport(supports=sum(r.supports for r in reports),
-                     n=sum(r.n for r in reports),
-                     threshold=first.threshold)
+    return THEReport(
+        supports=fo_kernels.fold_arrays([r.supports for r in reports]),
+        n=sum(r.n for r in reports),
+        threshold=first.threshold)
 
 
 def _merge_sw(reports: Sequence[SWReport]) -> SWReport:
@@ -367,9 +403,10 @@ def _merge_sw(reports: Sequence[SWReport]) -> SWReport:
            or abs(r.wave_width - first.wave_width) > 1e-12
            for r in reports):
         raise ProtocolError("cannot merge SW reports across configs")
-    return SWReport(counts=sum(r.counts for r in reports),
-                    n=sum(r.n for r in reports),
-                    wave_width=first.wave_width)
+    return SWReport(
+        counts=fo_kernels.fold_arrays([r.counts for r in reports]),
+        n=sum(r.n for r in reports),
+        wave_width=first.wave_width)
 
 
 # ---------------------------------------------------------------------------
@@ -646,6 +683,7 @@ register(ProtocolSpec(
     cell_variance=_grr_cell_variance,
     variance_grows_with_cells=True,
     adaptive_candidate=True,
+    kernels=("grr_apply",),
 ))
 
 register(ProtocolSpec(
@@ -659,6 +697,7 @@ register(ProtocolSpec(
     analytic_variance=_olh_class_analytic,
     cell_variance=_olh_class_cell_variance,
     adaptive_candidate=True,
+    kernels=("grr_apply", "support_counts"),
 ))
 
 register(ProtocolSpec(
@@ -671,6 +710,7 @@ register(ProtocolSpec(
     sanitizer=_sanitize_oue,
     analytic_variance=_olh_class_analytic,
     cell_variance=_olh_class_cell_variance,
+    kernels=("ue_accumulate", "fold_arrays"),
 ))
 
 register(ProtocolSpec(
@@ -683,6 +723,7 @@ register(ProtocolSpec(
     sanitizer=_sanitize_oue,
     analytic_variance=_olh_class_analytic,
     cell_variance=_olh_class_cell_variance,
+    kernels=("ue_accumulate", "fold_arrays"),
 ))
 
 register(ProtocolSpec(
@@ -695,6 +736,7 @@ register(ProtocolSpec(
     sanitizer=_sanitize_she,
     analytic_variance=_olh_class_analytic,
     cell_variance=_olh_class_cell_variance,
+    kernels=("he_sum_accumulate", "fold_arrays"),
 ))
 
 register(ProtocolSpec(
@@ -707,6 +749,7 @@ register(ProtocolSpec(
     sanitizer=_sanitize_the,
     analytic_variance=_olh_class_analytic,
     cell_variance=_olh_class_cell_variance,
+    kernels=("he_threshold_accumulate", "fold_arrays"),
 ))
 
 register(ProtocolSpec(
@@ -720,6 +763,7 @@ register(ProtocolSpec(
     analytic_variance=_olh_class_analytic,
     cell_variance=_olh_class_cell_variance,
     one_d_only=True,
+    kernels=("sw_transform", "fold_arrays"),
 ))
 
 register(ProtocolSpec(

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ProtocolError
+from repro.fo import kernels
 from repro.fo.base import FrequencyOracle
 from repro.rng import RngLike, ensure_rng
 
@@ -109,25 +110,16 @@ class SquareWave(FrequencyOracle):
         rng = ensure_rng(rng)
         n = len(values)
         v = self._to_unit(values)
+        # Three draws, fixed order: the close mask, one uniform on
+        # [-b, b] per close report, and one unit uniform per far report
+        # (mapped onto [-b, 1 + b] \ [v - b, v + b] by shifting past the
+        # wave window). The transform + bucketing runs in the kernel.
         close = rng.random(n) < 2.0 * self.b * self.p
-        reports = np.empty(n)
-        # Close reports: uniform on [v - b, v + b].
-        reports[close] = (v[close]
-                          + rng.uniform(-self.b, self.b,
-                                        size=int(close.sum())))
-        # Far reports: uniform on [-b, 1 + b] \ [v - b, v + b], sampled by
-        # drawing from a length-1 segment and shifting past the window.
-        far = ~close
-        u = rng.uniform(0.0, 1.0, size=int(far.sum()))
-        far_v = v[far]
-        reports[far] = np.where(u < far_v - 0.0,
-                                -self.b + u,
-                                far_v + self.b + (u - far_v))
-        # Bucket into the padded report domain.
+        close_draws = rng.uniform(-self.b, self.b, size=int(close.sum()))
+        far_draws = rng.uniform(0.0, 1.0, size=int((~close).sum()))
         width = (1.0 + 2.0 * self.b) / self.report_buckets
-        buckets = np.floor((reports + self.b) / width).astype(np.int64)
-        buckets = np.clip(buckets, 0, self.report_buckets - 1)
-        counts = np.bincount(buckets, minlength=self.report_buckets)
+        counts = kernels.sw_transform(v, close, close_draws, far_draws,
+                                      self.b, width, self.report_buckets)
         return SWReport(counts=counts, n=n, wave_width=self.b)
 
     # -- server side --------------------------------------------------------------
