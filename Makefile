@@ -3,8 +3,9 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test test-nojit test-faults test-service lint bench-kernels \
-	bench-pipeline bench-answers bench-figures bench-service
+.PHONY: test test-nojit test-speed test-faults test-service lint \
+	bench-kernels bench-pipeline bench-answers bench-figures \
+	bench-service
 
 # Tier-1: the gate every PR must keep green. Includes the fault and
 # service suites (they collect by default; `test-faults` and
@@ -18,6 +19,17 @@ test:
 # contract makes backend choice unobservable in outputs).
 test-nojit:
 	REPRO_NO_JIT=1 $(PY) -m pytest -x -q
+
+# Optional-speed tier (CI only — needs network for pip): install the
+# numba extra, run the kernel suite pinned to the numba backend, then
+# re-record bench-kernels so the numba-tier rows land in
+# BENCH_kernels.json next to the cc tier (the kernel benchmarks
+# parametrize over available_backends(), and record.py merges rows by
+# name rather than overwriting the file).
+test-speed:
+	pip install -e '.[speed]'
+	REPRO_JIT=numba $(PY) -m pytest tests/test_kernels.py -q
+	$(MAKE) bench-kernels
 
 # Static checks: no string-literal protocol dispatch outside the
 # registry (also collected by the default pytest run).

@@ -8,11 +8,19 @@ Usage::
 output keeps only the stable per-benchmark statistics (seconds and ops/s)
 plus minimal machine context, so successive PRs can diff kernel throughput
 without churn from host-specific noise fields.
+
+An existing ``OUT_JSON`` is *merged into*, not overwritten: only the
+``machine`` / ``datetime`` / ``benchmarks`` keys are replaced (and new
+benchmark rows update old ones by name), so sections written directly by
+the benchmark tests themselves — e.g. the ``workload_plan`` rows in
+``BENCH_answers.json`` or the numba-tier kernel rows recorded next to the
+``cc`` tier — survive the recording step.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import sys
 
 
@@ -38,14 +46,33 @@ def compact(raw: dict) -> dict:
     return out
 
 
+def merge(existing: dict, fresh: dict) -> dict:
+    """Fold a fresh compaction into an existing record, preserving any
+    sections the compactor does not own."""
+    out = dict(existing)
+    out["machine"] = fresh["machine"]
+    out["datetime"] = fresh["datetime"]
+    benches = dict(existing.get("benchmarks", {}))
+    benches.update(fresh["benchmarks"])
+    out["benchmarks"] = benches
+    return out
+
+
 def main(argv) -> int:
     if len(argv) != 3:
         print(__doc__, file=sys.stderr)
         return 2
     with open(argv[1]) as fh:
         raw = json.load(fh)
+    record = compact(raw)
+    if os.path.exists(argv[2]):
+        try:
+            with open(argv[2]) as fh:
+                record = merge(json.load(fh), record)
+        except (json.JSONDecodeError, OSError):
+            pass  # corrupt or unreadable previous record: start fresh
     with open(argv[2], "w") as fh:
-        json.dump(compact(raw), fh, indent=2, sort_keys=True)
+        json.dump(record, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print(f"wrote {argv[2]} ({len(raw.get('benchmarks', []))} benchmarks)")
     return 0

@@ -5,10 +5,14 @@ response matrix (Algorithm 3 IPF), summed-area rectangle lookups, and the
 batched workload path against the per-query loop on a 6-attribute,
 1000-query mixed-λ workload. ``make bench-answers`` records the results
 in ``BENCH_answers.json``; the ≥10x batched-vs-loop throughput floor is
-asserted directly.
+asserted directly, as is the workload-aware-vs-blind planning comparison
+on a skewed 1000-query workload (recorded under the ``workload_plan``
+key, which ``benchmarks/record.py`` preserves across re-recordings).
 """
 
+import json
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -17,6 +21,8 @@ from repro.core.felip import Felip
 from repro.data import normal_dataset
 from repro.estimation import SummedAreaTable
 from repro.queries.workload import WorkloadSpec, random_workload
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_answers.json"
 
 pytestmark = pytest.mark.filterwarnings(
     "ignore::repro.errors.ConvergenceWarning")
@@ -88,6 +94,44 @@ def test_workload_loop(benchmark, fitted, workload):
     benchmark.pedantic(
         lambda: fitted.aggregator.answer_workload_loop(workload),
         rounds=1, iterations=1)
+
+
+def _merge_workload_record(record: dict) -> None:
+    """Fold the planning-comparison rows into BENCH_answers.json in place
+    (record.py's merge keeps them when the throughput rows re-record)."""
+    existing: dict = {}
+    if OUT_PATH.exists():
+        try:
+            existing = json.loads(OUT_PATH.read_text())
+        except (OSError, ValueError):
+            existing = {}
+    existing["workload_plan"] = record
+    OUT_PATH.write_text(json.dumps(existing, indent=2, sort_keys=True)
+                        + "\n")
+
+
+def test_workload_aware_vs_blind_planning(bench_dataset):
+    """Acceptance: on a skewed 1000-query workload at equal ε, the
+    workload-aware plan scores a lower expected workload error than the
+    blind plan while materializing fewer than C(k, 2) pairs."""
+    from repro.experiments.workload_opt import (skewed_workload,
+                                                workload_comparison)
+
+    queries = skewed_workload(bench_dataset.schema, 1000, rng=31,
+                              hot_fraction=0.97)
+    table, record = workload_comparison(
+        bench_dataset, queries, epsilon=1.0, strategy="ohg", rng=32,
+        title="Skewed 1000-query workload: aware vs blind planning")
+    print("\n" + table.render())
+
+    by_mode = {row["mode"]: row for row in record["rows"]}
+    k = len(bench_dataset.schema)
+    all_pairs = k * (k - 1) // 2
+    assert by_mode["blind"]["pairs"] == all_pairs
+    assert (by_mode["aware"]["expected_err"]
+            < by_mode["blind"]["expected_err"])
+    assert by_mode["aware"]["pairs"] < all_pairs
+    _merge_workload_record(record)
 
 
 def test_batched_speedup_at_least_10x(fitted, workload):

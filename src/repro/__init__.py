@@ -12,6 +12,8 @@ Public surface:
 * :mod:`repro.fo` — GRR / OLH / OUE frequency oracles and the adaptive
   chooser;
 * :mod:`repro.baselines` — HIO and TDG/HDG comparators;
+* :mod:`repro.optimizer` — :class:`~repro.optimizer.WorkloadSpec` and the
+  cost-based plan→execute query optimizer;
 * :mod:`repro.experiments` — the figure-by-figure evaluation harness.
 """
 
@@ -19,6 +21,7 @@ from repro import data, queries
 from repro.core.config import FelipConfig
 from repro.core.felip import Felip
 from repro.errors import ReproError
+from repro.optimizer import AnswerPlan, WorkloadSpec
 from repro.schema import (
     CategoricalAttribute,
     NumericalAttribute,
@@ -33,6 +36,8 @@ __all__ = [
     "Schema",
     "NumericalAttribute",
     "CategoricalAttribute",
+    "WorkloadSpec",
+    "AnswerPlan",
     "ReproError",
     "data",
     "queries",

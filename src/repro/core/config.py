@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.optimizer.workload import WorkloadSpec
 from repro.fo.registry import (
     get as protocol_spec,
     one_d_protocol_names,
@@ -118,6 +119,26 @@ class FelipConfig:
         failure in the sharded executor, with exponential backoff.
         Retried shards replay the same spawned RNG stream, so retries
         never change the collected output.
+    workload:
+        Optional :class:`repro.optimizer.WorkloadSpec` describing the
+        expected query workload. When set, the planner sizes grids
+        against the spec's per-attribute selectivity *moments* (the
+        workload-weighted expected objectives in ``repro.grids.sizing``)
+        instead of the scalar priors above, and ``materialize()``
+        defaults to the workload-pruned pair set chosen by
+        :func:`repro.optimizer.plan_materialization`. ``None`` (default)
+        keeps the workload-blind legacy behavior bit-for-bit.
+    materialize_budget_bytes:
+        Optional memory budget for eager pair materialization (response
+        matrix + summed-area table, float64 bytes). Only consulted
+        together with ``workload``-driven or explicit budgeted
+        materialization planning; ``None`` = unbounded.
+    record_workload:
+        When True the aggregator records every query it answers, and
+        ``Aggregator.recorded_workload()`` harvests a
+        :class:`~repro.optimizer.WorkloadSpec` from the recording — the
+        declare-or-record loop: run blind once, harvest, refit with
+        ``workload=`` set.
     """
 
     epsilon: float = 1.0
@@ -140,8 +161,21 @@ class FelipConfig:
     ingest_policy: str = "strict"
     detectors: Tuple[str, ...] = ()
     shard_retries: int = 2
+    workload: Optional[WorkloadSpec] = None
+    materialize_budget_bytes: Optional[int] = None
+    record_workload: bool = False
 
     def __post_init__(self) -> None:
+        if self.workload is not None and \
+                not isinstance(self.workload, WorkloadSpec):
+            raise ConfigurationError(
+                f"workload must be a repro.optimizer.WorkloadSpec or None, "
+                f"got {type(self.workload).__name__}")
+        if self.materialize_budget_bytes is not None and \
+                self.materialize_budget_bytes < 0:
+            raise ConfigurationError(
+                f"materialize_budget_bytes must be None or >= 0, got "
+                f"{self.materialize_budget_bytes}")
         if self.ingest_policy not in INGEST_MODES:
             raise ConfigurationError(
                 f"ingest_policy must be one of {INGEST_MODES}, "
@@ -217,6 +251,18 @@ class FelipConfig:
         """The planning selectivity prior for one attribute."""
         return self.selectivity_overrides.get(attribute_name,
                                               self.expected_selectivity)
+
+    def selectivity_moments_for(self, attribute_name: str
+                                ) -> Optional[Tuple[float, float]]:
+        """``(E[r], E[r²])`` from the declared workload, if any.
+
+        ``None`` means "no workload knowledge for this attribute" — the
+        planner then falls back to the scalar :meth:`selectivity_for`
+        prior and the legacy fixed-selectivity sizing objectives.
+        """
+        if self.workload is None:
+            return None
+        return self.workload.selectivity_moments(attribute_name)
 
     @property
     def uses_1d_grids(self) -> bool:

@@ -87,6 +87,27 @@ class Felip:
         """Estimated answers for a workload (batched by λ and pair set)."""
         return self._aggregator.answer_workload(queries)
 
+    def plan_answers(self, queries: Iterable[Query], cost_model=None):
+        """Compile a workload into an inspectable AnswerPlan (pure).
+
+        See :meth:`repro.core.Aggregator.plan_answers`; execute the
+        result with :meth:`execute_answer_plan`.
+        """
+        return self._aggregator.plan_answers(queries, cost_model)
+
+    def execute_answer_plan(self, plan, queries: Iterable[Query]
+                            ) -> np.ndarray:
+        """Execute a compiled AnswerPlan against its workload."""
+        return self._aggregator.execute_answer_plan(plan, queries)
+
+    def recorded_workload(self):
+        """Harvest a WorkloadSpec from recorded queries.
+
+        Requires ``record_workload=True`` in the config; see
+        :meth:`repro.core.Aggregator.recorded_workload`.
+        """
+        return self._aggregator.recorded_workload()
+
     def materialize(self, pairs=None) -> "Felip":
         """Eagerly build response matrices + summed-area answer caches.
 

@@ -128,7 +128,9 @@ def plan_grids(schema: Schema, config: FelipConfig, n: int) -> \
                 predicted_error=float("nan"))
         else:
             planning = plan_grid(attr.domain_size, attr.is_numerical, r,
-                                 params, protocols=config.protocols)
+                                 params, protocols=config.protocols,
+                                 moments_x=config.selectivity_moments_for(
+                                     attr.name))
         grid = Grid1D(t, attr, _binning(attr.domain_size, planning.lx))
         planned.append(PlannedGrid(
             grid=grid, protocol=planning.protocol,
@@ -152,7 +154,9 @@ def plan_grids(schema: Schema, config: FelipConfig, n: int) -> \
                 attr_i.domain_size, attr_i.is_numerical, r_i, params,
                 domain_y=attr_j.domain_size,
                 numerical_y=attr_j.is_numerical, r_y=r_j,
-                protocols=config.protocols)
+                protocols=config.protocols,
+                moments_x=config.selectivity_moments_for(attr_i.name),
+                moments_y=config.selectivity_moments_for(attr_j.name))
         grid = Grid2D(i, j, attr_i, attr_j,
                       _binning(attr_i.domain_size, planning.lx),
                       _binning(attr_j.domain_size, planning.ly))

@@ -36,10 +36,8 @@ from repro.data.dataset import Dataset
 from repro.errors import ConvergenceWarning, NotFittedError, QueryError
 from repro.estimation.engine import SummedAreaTable
 from repro.estimation.lambda_query import (
-    PairAnswers,
     canonical_pairs,
     fit_lambda_queries,
-    fit_lambda_query,
     pair_answers_tables,
 )
 from repro.estimation.response_matrix import (
@@ -48,6 +46,14 @@ from repro.estimation.response_matrix import (
 )
 from repro.fo import kernels as fo_kernels
 from repro.fo.adaptive import make_oracle
+from repro.optimizer import (
+    AnswerPlan,
+    CostModel,
+    MaterializationPlan,
+    WorkloadSpec,
+    build_answer_plan,
+    plan_materialization,
+)
 from repro.fo.registry import get as protocol_spec
 from repro.fo.registry import kernels_for
 from repro.grids.grid import GridEstimate, predicate_cell_weights
@@ -88,6 +94,8 @@ class Aggregator:
         self.fault_injector = None
         self._detector_flags: List[DetectorFlag] = []
         self._group_sizes: List[int] = []
+        #: queries answered since the last fit (config.record_workload)
+        self._recorded_queries: List[Query] = []
 
     # -- collection -----------------------------------------------------------
 
@@ -97,6 +105,7 @@ class Aggregator:
             raise QueryError("dataset schema does not match aggregator's")
         rng = ensure_rng(rng)
         self.n = dataset.n
+        self._recorded_queries = []
         with self.timings.time("plan"):
             self.plans = plan_grids(self.schema, self.config, dataset.n)
         with self.timings.time("warm"):
@@ -296,8 +305,13 @@ class Aggregator:
         return self._matrices[(i, j)]
 
     def _normalize_pairs(self, pairs) -> List[Tuple[int, int]]:
-        """Resolve user pair specs (names or indices) to sorted index pairs."""
-        norm: List[Tuple[int, int]] = []
+        """Resolve user pair specs (names or indices) to sorted index pairs.
+
+        Dedup goes through an order-preserving dict keyed on the
+        normalized pair — O(1) membership instead of the O(p) list scan
+        that made wide-schema materialization quadratic in ``C(k, 2)``.
+        """
+        norm: Dict[Tuple[int, int], None] = {}
         for a, b in pairs:
             i = (self.schema.index_of(a) if isinstance(a, str) else int(a))
             j = (self.schema.index_of(b) if isinstance(b, str) else int(b))
@@ -307,46 +321,72 @@ class Aggregator:
                 raise QueryError(f"pair ({a}, {b}) outside schema")
             if i > j:
                 i, j = j, i
-            if (i, j) not in norm:
-                norm.append((i, j))
-        return norm
+            norm[(i, j)] = None
+        return list(norm)
+
+    def materialization_plan(self) -> MaterializationPlan:
+        """The pair-materialization decision for this (schema, config).
+
+        Without a declared workload this is the legacy exhaustive plan
+        (every ``C(k, 2)`` pair); with ``config.workload`` set, pairs the
+        workload never touches are pruned and the rest greedily packed
+        under ``config.materialize_budget_bytes`` — see
+        :func:`repro.optimizer.plan_materialization`. Pure: depends only
+        on (schema, config), never on fitted state.
+        """
+        return plan_materialization(
+            self.schema,
+            workload=self.config.workload,
+            budget_bytes=self.config.materialize_budget_bytes)
 
     def materialize(self, pairs=None) -> "Aggregator":
         """Eagerly build response matrices + summed-area tables.
 
-        Fits every requested pair's matrix (all ``C(k, 2)`` pairs by
-        default) through the sharded executor — same workers / retry /
-        fault-injection machinery as collection — then caches a
-        :class:`~repro.estimation.SummedAreaTable` per matrix so any
+        Fits every requested pair's matrix through the sharded executor —
+        same workers / retry / fault-injection machinery as collection —
+        with each task also building the matrix's
+        :class:`~repro.estimation.SummedAreaTable`, so SAT construction
+        overlaps the other shards' matrix fits instead of running
+        serially after the pool drains. Materialized pairs answer any
         ``BETWEEN x BETWEEN`` rectangle (and all four sign cells of a
-        pair's 2x2 table) is answered in O(1) lookups. Idempotent; time is
-        recorded under the ``materialize`` stage.
+        pair's 2x2 table) in O(1) lookups.
+
+        ``pairs=None`` materializes the pairs chosen by
+        :meth:`materialization_plan` — all ``C(k, 2)`` pairs when no
+        workload is declared (the legacy behavior), the workload-pruned
+        subset otherwise. Un-materialized pairs still answer correctly
+        through the lazy per-pair path with identical numerics.
+        Idempotent; time is recorded under the ``materialize`` stage.
         """
         self._require_fitted()
         if pairs is None:
-            norm = canonical_pairs(len(self.schema))
+            norm = list(self.materialization_plan().pairs)
         else:
             norm = self._normalize_pairs(pairs)
         with self.timings.time("materialize"):
             missing = [p for p in norm if p not in self._matrices]
             if missing:
-                tasks = [self._matrix_task(i, j) for i, j in missing]
+                tasks = [self._materialize_task(i, j) for i, j in missing]
                 results = run_sharded(tasks, self.config.workers,
                                       retries=self.config.shard_retries,
                                       fault_injector=self.fault_injector,
                                       stats=self.exec_stats)
-                for pair, (matrix, diag) in zip(missing, results):
+                for pair, (matrix, diag, sat) in zip(missing, results):
                     self._matrices[pair] = matrix
                     self._matrix_diags[pair] = diag
+                    self._sats[pair] = sat
             for pair in norm:
+                # Pairs whose matrix predates this call (lazy answering,
+                # earlier subset materialize) still need their SAT.
                 if pair not in self._sats:
                     self._sats[pair] = SummedAreaTable(self._matrices[pair])
         return self
 
-    def _matrix_task(self, i: int, j: int):
-        """Per-pair matrix-fit closure for the sharded executor."""
+    def _materialize_task(self, i: int, j: int):
+        """Per-pair matrix-fit + SAT-build closure for the sharded executor."""
         def run():
-            return self._build_matrix(i, j)
+            matrix, diag = self._build_matrix(i, j)
+            return matrix, diag, SummedAreaTable(matrix)
         return run
 
     def fit_diagnostics(self) -> Dict[str, Any]:
@@ -456,6 +496,7 @@ class Aggregator:
         """Estimated fractional answer of a λ-D query."""
         self._require_fitted()
         query.validate_for(self.schema)
+        self._record_workload_queries([query])
         predicates = self._sorted_predicates(query)
         if len(predicates) == 1:
             return self._answer_single(predicates[0])
@@ -467,16 +508,79 @@ class Aggregator:
             return self._clamp(value)
         return self._answer_lambda(predicates)
 
+    def plan_answers(self, queries: Iterable[Query],
+                     cost_model: Optional[CostModel] = None) -> AnswerPlan:
+        """Compile a workload into an inspectable :class:`AnswerPlan`.
+
+        Pure — a function of (schema, queries, config) only (see
+        :func:`repro.optimizer.build_answer_plan`); building a plan runs
+        no queries and may be called before :meth:`fit`. Execute it with
+        :meth:`execute_answer_plan`.
+        """
+        return build_answer_plan(self.schema, queries, self.config,
+                                 cost_model=cost_model)
+
+    def execute_answer_plan(self, plan: AnswerPlan,
+                            queries: Iterable[Query]) -> np.ndarray:
+        """Execute a compiled :class:`AnswerPlan` against ``queries``.
+
+        ``queries`` must be the same workload (same order) the plan was
+        built from. Each node dispatches through the strategy table
+        below; every strategy of a node computes identical numerics
+        (summed-area fast paths fall back per query when a table is not
+        resident), so results are bit-identical to
+        :meth:`answer_workload_loop` regardless of the cost model that
+        shaped the plan. Time is recorded under the ``answer`` stage.
+        """
+        self._require_fitted()
+        queries = list(queries)
+        if plan.num_queries != len(queries):
+            raise QueryError(
+                f"plan was built for {plan.num_queries} queries, got "
+                f"{len(queries)}")
+        for query in queries:
+            query.validate_for(self.schema)
+        self._record_workload_queries(queries)
+        out = np.zeros(len(queries))
+        if not queries:
+            return out
+        with self.timings.time("answer"):
+            for node in plan.nodes:
+                batch = [self._sorted_predicates(queries[pos])
+                         for pos in node.positions]
+                try:
+                    executor = self._NODE_EXECUTORS[node.strategy]
+                except KeyError:
+                    raise QueryError(
+                        f"unknown plan strategy {node.strategy!r}"
+                        ) from None
+                values = executor(self, node.key, batch)
+                out[list(node.positions)] = np.clip(values, 0.0, 1.0)
+        return out
+
     def answer_workload(self, queries: Iterable[Query]) -> np.ndarray:
         """Batched workload answering (grouped by λ and attribute set).
 
-        Queries over the same attributes are answered together: 1-D
-        batches as one stacked weight/indicator matmul, 2-D batches as
-        summed-area lookups (or one indicator matmul per group), λ ≥ 3
-        batches through the batched Algorithm 4 IPF. Results are
-        numerically identical to calling :meth:`answer` per query (see
-        :meth:`answer_workload_loop`); time is recorded under the
-        ``answer`` stage.
+        Compiles the workload with :meth:`plan_answers` and executes the
+        plan: 1-D batches as one stacked weight/indicator matmul, 2-D
+        batches as summed-area lookups (or one indicator matmul per
+        group), λ ≥ 3 batches through the batched Algorithm 4 IPF.
+        Results are bit-identical to calling :meth:`answer` per query
+        (see :meth:`answer_workload_loop`) and to the retained
+        :meth:`answer_workload_legacy` grouping; time is recorded under
+        the ``answer`` stage.
+        """
+        self._require_fitted()
+        queries = list(queries)
+        plan = self.plan_answers(queries)
+        return self.execute_answer_plan(plan, queries)
+
+    def answer_workload_legacy(self, queries: Iterable[Query]) -> np.ndarray:
+        """The pre-optimizer workload path (grouping + inline dispatch).
+
+        Retained verbatim as the reference the plan→execute equivalence
+        tests compare against: :meth:`answer_workload` must stay
+        bit-identical to this under the default cost model.
         """
         self._require_fitted()
         queries = list(queries)
@@ -510,6 +614,27 @@ class Aggregator:
         """Per-query reference path (what :meth:`answer_workload` batches)."""
         return np.array([self.answer(q) for q in queries])
 
+    # -- workload recording ------------------------------------------------------
+
+    def _record_workload_queries(self, queries: List[Query]) -> None:
+        if self.config.record_workload:
+            self._recorded_queries.extend(queries)
+
+    def recorded_workload(self) -> WorkloadSpec:
+        """Harvest a :class:`WorkloadSpec` from the recorded queries.
+
+        Requires ``config.record_workload=True`` and at least one
+        answered query since the last :meth:`fit` — the record half of
+        the declare-or-record loop (run blind, harvest, refit with
+        ``config.workload`` set).
+        """
+        if not self.config.record_workload:
+            raise QueryError(
+                "workload recording is off; construct the config with "
+                "record_workload=True")
+        return WorkloadSpec.from_queries(self._recorded_queries,
+                                         self.schema)
+
     def _sorted_predicates(self, query: Query) -> List[Predicate]:
         """Predicates in schema-index order (conjunction order is free).
 
@@ -530,25 +655,35 @@ class Aggregator:
         return min(max(float(value), 0.0), 1.0)
 
     def _answer_single(self, predicate: Predicate) -> float:
+        """One 1-D answer, routed through the batched primitive.
+
+        Sharing :meth:`_answer_singles` (batch of one) keeps the loop and
+        workload paths on the same einsum kernel, so their answers are
+        bit-identical — not merely close.
+        """
         t = self.schema.index_of(predicate.attribute)
-        if (t,) in self._estimates:
-            return self._clamp(self._estimates[(t,)].answer_1d(predicate))
-        marginal = self.marginal(t)
-        return self._clamp(self._indicator(predicate) @ marginal)
+        return self._clamp(self._answer_singles(t, [predicate])[0])
 
     def _answer_singles(self, t: int,
                         predicates: List[Predicate]) -> np.ndarray:
-        """Batched 1-D answers on attribute ``t`` (one stacked matmul)."""
+        """Batched 1-D answers on attribute ``t`` (one stacked matmul).
+
+        The reduction is an ``einsum`` rather than ``@``: BLAS picks
+        different gemv/gemm kernels by operand shape (so a batch of one
+        need not reproduce a batch of many bit-for-bit), while einsum's
+        fixed summation order is batch-size invariant.
+        """
         if (t,) in self._estimates:
             estimate = self._estimates[(t,)]
             weights = np.stack([
                 predicate_cell_weights(estimate.grid.binning, p,
                                        estimate.grid.attribute)
                 for p in predicates])
-            return weights @ estimate.frequencies
+            return np.einsum("ql,l->q", weights, estimate.frequencies,
+                             optimize=False)
         marginal = self.marginal(t)
         indicators = np.stack([self._indicator(p) for p in predicates])
-        return indicators @ marginal
+        return np.einsum("ql,l->q", indicators, marginal, optimize=False)
 
     def _range_bounds(self, predicates: List[Predicate]
                       ) -> Tuple[np.ndarray, np.ndarray]:
@@ -582,7 +717,10 @@ class Aggregator:
             matrix = self.response_matrix(ti, tj)
             stack_i = np.stack([self._indicator(preds_i[q]) for q in picks])
             stack_j = np.stack([self._indicator(preds_j[q]) for q in picks])
-            values[picks] = ((stack_i @ matrix) * stack_j).sum(axis=1)
+            # einsum (not BLAS @) so a batch of one matches a batch of
+            # many bit-for-bit — see _answer_singles.
+            values[picks] = np.einsum("qi,ij,qj->q", stack_i, matrix,
+                                      stack_j, optimize=False)
         return values
 
     def _pair_tables(self, ti: int, tj: int, preds_i: List[Predicate],
@@ -616,25 +754,17 @@ class Aggregator:
         return tables
 
     def _answer_lambda(self, predicates: List[Predicate]) -> float:
-        """One λ ≥ 3 query: pairwise sign tables + Algorithm 4 IPF.
+        """One λ ≥ 3 query, routed through the batched primitive.
 
-        ``predicates`` arrive sorted by schema index, so every position
-        pair ``(a, b)`` maps to a schema pair ``(ta, tb)`` with
-        ``ta < tb`` — no table reorientation needed.
+        ``predicates`` arrive sorted by schema index, so the attribute
+        set is already a canonical key. Sharing
+        :meth:`_answer_lambda_batch` (batch of one) keeps the loop and
+        workload paths on the same batched Algorithm 4 IPF — whose
+        active-set freezing makes it batch-size invariant — so their
+        answers are bit-identical.
         """
-        indices = [self.schema.index_of(p.attribute) for p in predicates]
-        pair_answers: Dict[Tuple[int, int], PairAnswers] = {}
-        for a, b in canonical_pairs(len(predicates)):
-            table = self._pair_tables(indices[a], indices[b],
-                                      [predicates[a]], [predicates[b]])[0]
-            pair_answers[(a, b)] = PairAnswers(
-                pp=float(table[1, 1]), pn=float(table[1, 0]),
-                np_=float(table[0, 1]), nn=float(table[0, 0]))
-        value, diag = fit_lambda_query(
-            pair_answers, len(predicates), self.n,
-            max_iters=self.config.lambda_max_iters)
-        self._record_lambda(diag.sweeps, diag.converged)
-        return self._clamp(value)
+        key = tuple(self.schema.index_of(p.attribute) for p in predicates)
+        return self._clamp(self._answer_lambda_batch(key, [predicates])[0])
 
     def _answer_lambda_batch(self, key: Tuple[int, ...],
                              batch: List[List[Predicate]]) -> np.ndarray:
@@ -662,3 +792,32 @@ class Aggregator:
                 f"({self.config.lambda_max_iters})",
                 ConvergenceWarning, stacklevel=3)
         return values
+
+    # -- plan-node executors -----------------------------------------------------
+
+    def _exec_singles(self, key: Tuple[int, ...],
+                      batch: List[List[Predicate]]) -> np.ndarray:
+        return self._answer_singles(key[0], [preds[0] for preds in batch])
+
+    def _exec_pair(self, key: Tuple[int, ...],
+                   batch: List[List[Predicate]]) -> np.ndarray:
+        return self._pair_values(key[0], key[1],
+                                 [preds[0] for preds in batch],
+                                 [preds[1] for preds in batch])
+
+    def _exec_lambda(self, key: Tuple[int, ...],
+                     batch: List[List[Predicate]]) -> np.ndarray:
+        return self._answer_lambda_batch(key, batch)
+
+    #: AnswerPlan strategy → executor. Strategies that differ only in
+    #: which resident structure they expect (grid vs marginal, SAT vs
+    #: matmul) share an executor: the primitive resolves availability per
+    #: query at run time with identical numerics either way, so a plan
+    #: built against stale materialization state still answers correctly.
+    _NODE_EXECUTORS = {
+        "grid-1d": _exec_singles,
+        "marginal-matmul": _exec_singles,
+        "sat-lookup": _exec_pair,
+        "pair-matmul": _exec_pair,
+        "batched-ipf": _exec_lambda,
+    }

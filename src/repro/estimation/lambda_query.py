@@ -113,9 +113,15 @@ def pair_answers_tables(matrix: np.ndarray, indicators_i: np.ndarray,
             f"({indicators_i.shape[1]}, {indicators_j.shape[1]})"
         )
     total = float(matrix.sum())
-    row = indicators_i @ matrix.sum(axis=1)
-    col = indicators_j @ matrix.sum(axis=0)
-    pp = ((indicators_i @ matrix) * indicators_j).sum(axis=1)
+    # einsum, not BLAS @: its fixed summation order makes the reductions
+    # batch-size invariant, so a batch of one reproduces a batch of many
+    # bit-for-bit (BLAS picks different gemv/gemm kernels by shape).
+    row = np.einsum("qi,i->q", indicators_i, matrix.sum(axis=1),
+                    optimize=False)
+    col = np.einsum("qj,j->q", indicators_j, matrix.sum(axis=0),
+                    optimize=False)
+    pp = np.einsum("qi,ij,qj->q", indicators_i, matrix, indicators_j,
+                   optimize=False)
     pn = np.maximum(row - pp, 0.0)
     np_ = np.maximum(col - pp, 0.0)
     nn = np.maximum(total - row - col + pp, 0.0)

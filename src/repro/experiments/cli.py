@@ -29,11 +29,12 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="felip-experiments",
         description="Regenerate the FELIP paper's evaluation figures.")
-    choices = [*ALL_FIGURES, "ablations", "plan", "all"]
+    choices = [*ALL_FIGURES, "ablations", "plan", "workload", "all"]
     parser.add_argument("target", choices=choices,
                         help="which figure (fig1..fig7), 'ablations', "
-                             "'plan' (inspect a collection plan), or "
-                             "'all'")
+                             "'plan' (inspect a collection plan), "
+                             "'workload' (workload-aware vs blind "
+                             "planning on a skewed workload), or 'all'")
     parser.add_argument("--epsilon", type=float, default=1.0,
                         help="privacy budget for the 'plan' target")
     parser.add_argument("--strategy", choices=("oug", "ohg"),
@@ -97,6 +98,15 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.target == "plan":
         _print_plan(args, scale)
+        return 0
+
+    if args.target == "workload":
+        from repro.experiments.workload_opt import workload_figure
+        table = workload_figure(scale, epsilon=args.epsilon,
+                                strategy=args.strategy)
+        print(table.render())
+        if args.csv:
+            _write_csv(table, args.csv, "workload")
         return 0
 
     if args.target == "all":

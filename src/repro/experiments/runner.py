@@ -30,6 +30,15 @@ def _felip_kwargs(selectivity, executor):
     return kwargs
 
 
+def _strategy_workload_kwargs(executor, workload):
+    """Split registry kwargs: FELIP variants also take the workload."""
+    if workload is None:
+        return executor
+    merged = dict(executor)
+    merged["workload"] = workload
+    return merged
+
+
 _BUILDERS: Dict[str, Callable] = {
     "oug": lambda schema, eps, sel, ex: Felip.oug(
         schema, epsilon=eps, **_felip_kwargs(sel, ex)),
@@ -52,13 +61,16 @@ STRATEGY_NAMES = tuple(sorted(_BUILDERS))
 
 def make_strategy(name: str, schema: Schema, epsilon: float,
                   selectivity: float = None, workers: int = 1,
-                  chunk_size: int = None):
+                  chunk_size: int = None, workload=None):
     """Instantiate a strategy by its registry name.
 
     ``selectivity`` is the aggregator's prior handed to the FELIP variants
     (the paper's "incorporate knowledge of query selectivity");
     ``workers``/``chunk_size`` configure their sharded collection executor.
-    Baselines that cannot use these knobs ignore them.
+    ``workload`` is an optional :class:`repro.optimizer.WorkloadSpec` that
+    switches the FELIP variants to workload-aware planning (declared or
+    harvested; see ``FelipConfig.workload``). Baselines that cannot use
+    these knobs ignore them.
     """
     try:
         builder = _BUILDERS[name]
@@ -67,7 +79,12 @@ def make_strategy(name: str, schema: Schema, epsilon: float,
             f"unknown strategy {name!r}; expected one of {STRATEGY_NAMES}"
         ) from None
     executor = {"workers": workers, "chunk_size": chunk_size}
-    return builder(schema, epsilon, selectivity, executor)
+    if workload is not None and name in ("hio", "tdg", "hdg"):
+        raise ConfigurationError(
+            f"strategy {name!r} has no workload-aware planner; use one of "
+            f"the FELIP variants")
+    return builder(schema, epsilon, selectivity,
+                   _strategy_workload_kwargs(executor, workload))
 
 
 @dataclass(frozen=True)
@@ -91,13 +108,22 @@ class RunResult:
     #: (plan/collect/estimate/postprocess/materialize/answer); empty for
     #: baselines without stage-timed aggregators.
     timings: Dict[str, float] = field(default_factory=dict)
+    #: the compiled AnswerPlan of the evaluated workload
+    #: (``AnswerPlan.as_dict()``) — per-node strategy, estimated cost, and
+    #: the materialization decision; empty for baselines without the
+    #: plan→execute optimizer.
+    plan: Dict[str, object] = field(default_factory=dict)
+    #: the WorkloadSpec the planner consumed (``WorkloadSpec.as_dict()``),
+    #: empty when the run was workload-blind.
+    workload: Dict[str, object] = field(default_factory=dict)
 
 
 def evaluate_strategy(name: str, dataset: Dataset,
                       queries: Sequence[Query], epsilon: float,
                       rng: RngLike = None, repeats: int = 1,
                       selectivity: float = None, workers: int = 1,
-                      chunk_size: int = None) -> RunResult:
+                      chunk_size: int = None, workload=None,
+                      harvest_workload: bool = False) -> RunResult:
     """Fit and evaluate one strategy; MAE is averaged over ``repeats``.
 
     Repeats redraw the collection randomness (not the dataset or the
@@ -105,9 +131,22 @@ def evaluate_strategy(name: str, dataset: Dataset,
     ``workers``/``chunk_size`` are forwarded to the FELIP variants'
     sharded executor; they speed up collection without changing its
     output distribution.
+
+    ``workload`` switches the FELIP variants to workload-aware planning;
+    ``harvest_workload=True`` instead derives the spec from ``queries``
+    themselves (:meth:`repro.optimizer.WorkloadSpec.from_queries`) — the
+    "oracle workload knowledge" upper bound the optimizer benchmarks
+    report. The returned :class:`RunResult` carries the compiled answer
+    plan and the consumed spec as JSON-friendly artifacts.
     """
     if repeats < 1:
         raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    if harvest_workload:
+        if workload is not None:
+            raise ConfigurationError(
+                "pass either workload= or harvest_workload=True, not both")
+        from repro.optimizer import WorkloadSpec
+        workload = WorkloadSpec.from_queries(queries, dataset.schema)
     rng = ensure_rng(rng)
     truths = true_answers(queries, dataset)
     maes: List[float] = []
@@ -115,7 +154,8 @@ def evaluate_strategy(name: str, dataset: Dataset,
     fit_seconds = answer_seconds = 0.0
     for _ in range(repeats):
         model = make_strategy(name, dataset.schema, epsilon, selectivity,
-                              workers=workers, chunk_size=chunk_size)
+                              workers=workers, chunk_size=chunk_size,
+                              workload=workload)
         start = time.perf_counter()
         model.fit(dataset, rng)
         fit_seconds += time.perf_counter() - start
@@ -129,7 +169,10 @@ def evaluate_strategy(name: str, dataset: Dataset,
                      truths=truths, fit_seconds=fit_seconds / repeats,
                      answer_seconds=answer_seconds / repeats,
                      robustness=_robustness_of(model),
-                     timings=_timings_of(model))
+                     timings=_timings_of(model),
+                     plan=_plan_of(model, queries),
+                     workload=workload.as_dict() if workload is not None
+                     else {})
 
 
 def _robustness_of(model) -> Dict[str, object]:
@@ -144,3 +187,11 @@ def _timings_of(model) -> Dict[str, float]:
     aggregator = getattr(model, "aggregator", model)
     timings = getattr(aggregator, "timings", None)
     return timings.as_dict() if timings is not None else {}
+
+
+def _plan_of(model, queries) -> Dict[str, object]:
+    """The model's compiled answer plan ({} for plain baselines)."""
+    plan_answers = getattr(model, "plan_answers", None)
+    if not callable(plan_answers):
+        return {}
+    return plan_answers(queries).as_dict()

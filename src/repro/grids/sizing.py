@@ -152,6 +152,89 @@ def error_2d_categorical(dx: int, dy: int, rx: float, ry: float,
 
 
 # ---------------------------------------------------------------------------
+# Workload-weighted (expected) objectives
+#
+# The paper's objectives above treat the query selectivity ``r`` as a
+# single prior. A declared workload instead gives a per-attribute
+# selectivity *distribution*; the expected predicted error over that
+# distribution only needs its first two moments ``(E[r], E[r²])``:
+# the noise terms are linear in each attribute's ``r`` (so they take
+# E[r], with independent attributes making E[r_x r_y] = E[r_x]E[r_y]),
+# and the 2-D non-uniformity term is quadratic (so it takes E[r²]).
+# With a degenerate histogram (E[r²] = E[r]²) every expected objective
+# reduces exactly to its fixed-selectivity counterpart.
+# ---------------------------------------------------------------------------
+
+def _check_moments(moments: Tuple[float, float],
+                   name: str = "selectivity") -> Tuple[float, float]:
+    mean, mean_sq = float(moments[0]), float(moments[1])
+    _check_selectivity(mean, f"{name} mean")
+    if not mean ** 2 - 1e-12 <= mean_sq <= 1.0:
+        raise GridError(
+            f"{name} second moment must satisfy E[r]^2 <= E[r^2] <= 1, "
+            f"got E[r]={mean}, E[r^2]={mean_sq}")
+    return mean, mean_sq
+
+
+def error_1d_numerical_expected(l: float, moments: Tuple[float, float],
+                                params: SizingParams,
+                                protocol: str) -> float:
+    """Expected 1-D numerical grid error over a selectivity histogram.
+
+    The 1-D objective is linear in ``r``, so the expectation is the plain
+    objective at the mean selectivity.
+    """
+    mean, _ = _check_moments(moments)
+    return error_1d_numerical(l, mean, params, protocol)
+
+
+def error_2d_numerical_expected(lx: float, ly: float,
+                                moments_x: Tuple[float, float],
+                                moments_y: Tuple[float, float],
+                                params: SizingParams,
+                                protocol: str) -> float:
+    """Expected numeric x numeric grid error over selectivity histograms.
+
+    ``E[(l_x r_x + l_y r_y)²] = l_x² E[r_x²] + 2 l_x l_y E[r_x]E[r_y]
+    + l_y² E[r_y²]`` (independent attributes), so the non-uniformity term
+    keeps its closed form in the first two moments.
+    """
+    mx, sx = _check_moments(moments_x, "rx")
+    my, sy = _check_moments(moments_y, "ry")
+    nonuni = (4.0 * params.alpha2 ** 2
+              * (lx * lx * sx + 2.0 * lx * ly * mx * my + ly * ly * sy)
+              / (lx * ly) ** 2)
+    noise = (lx * mx * ly * my
+             * params.cell_variance(protocol, int(round(lx * ly))))
+    return nonuni + noise
+
+
+def error_2d_num_cat_expected(lx: float, ly: int,
+                              moments_x: Tuple[float, float],
+                              moments_y: Tuple[float, float],
+                              params: SizingParams,
+                              protocol: str) -> float:
+    """Expected numeric(x) x categorical(y) grid error over histograms."""
+    mx, _ = _check_moments(moments_x, "rx")
+    my, sy = _check_moments(moments_y, "ry")
+    nonuni = 4.0 * params.alpha2 ** 2 * sy / lx ** 2
+    noise = (lx * mx * ly * my
+             * params.cell_variance(protocol, int(round(lx * ly))))
+    return nonuni + noise
+
+
+def error_2d_categorical_expected(dx: int, dy: int,
+                                  moments_x: Tuple[float, float],
+                                  moments_y: Tuple[float, float],
+                                  params: SizingParams,
+                                  protocol: str) -> float:
+    """Expected categorical x categorical grid error (pure noise)."""
+    mx, _ = _check_moments(moments_x, "rx")
+    my, _ = _check_moments(moments_y, "ry")
+    return error_2d_categorical(dx, dy, mx, my, params, protocol)
+
+
+# ---------------------------------------------------------------------------
 # Optimal sizes
 # ---------------------------------------------------------------------------
 
@@ -296,7 +379,10 @@ def plan_grid(domain_x: int, numerical_x: bool, r_x: float,
               params: SizingParams,
               domain_y: Optional[int] = None,
               numerical_y: bool = False, r_y: float = 1.0,
-              protocols: Optional[Sequence[str]] = None) -> GridPlanning:
+              protocols: Optional[Sequence[str]] = None,
+              moments_x: Optional[Tuple[float, float]] = None,
+              moments_y: Optional[Tuple[float, float]] = None
+              ) -> GridPlanning:
     """Size one grid under every candidate protocol; keep the best.
 
     This is the Adaptive Frequency Oracle applied at planning time: the
@@ -310,11 +396,23 @@ def plan_grid(domain_x: int, numerical_x: bool, r_x: float,
     module was imported still participate. Candidates are compared in
     registration order with a strict-improvement rule, preserving the
     paper's tie-break toward the earlier (GRR) candidate.
+
+    ``moments_x``/``moments_y`` switch the objective to the
+    workload-weighted expected error over a selectivity histogram with
+    the given ``(E[r], E[r²])`` moments (the fixed selectivities then
+    only seed the continuous solvers); ``None`` keeps the paper's
+    fixed-selectivity objective bit-for-bit.
     """
     if protocols is None:
         protocols = tuple(s.name for s in adaptive_candidates())
     if not protocols:
         raise ConfigurationError("need at least one candidate protocol")
+    if moments_x is not None or moments_y is not None:
+        return _plan_grid_expected(
+            domain_x, numerical_x, params, protocols,
+            moments_x if moments_x is not None else (r_x, r_x * r_x),
+            domain_y, numerical_y,
+            moments_y if moments_y is not None else (r_y, r_y * r_y))
     best: Optional[GridPlanning] = None
     for protocol in protocols:
         if domain_y is None:
@@ -345,6 +443,74 @@ def plan_grid(domain_x: int, numerical_x: bool, r_x: float,
         else:
             err = error_2d_categorical(domain_x, domain_y, r_x, r_y,
                                        params, protocol)
+            candidate = GridPlanning(lx=domain_x, ly=domain_y,
+                                     protocol=protocol, predicted_error=err)
+        if best is None or candidate.predicted_error < best.predicted_error:
+            best = candidate
+    return best
+
+
+def _plan_grid_expected(domain_x: int, numerical_x: bool,
+                        params: SizingParams, protocols: Sequence[str],
+                        moments_x: Tuple[float, float],
+                        domain_y: Optional[int], numerical_y: bool,
+                        moments_y: Tuple[float, float]) -> GridPlanning:
+    """Size one grid against the expected-error objectives.
+
+    The fixed-selectivity solvers at the mean selectivities seed the
+    search (the expected objectives differ from them only through the
+    second-moment non-uniformity terms), then the integer refinement
+    re-ranks against the exact expected objective.
+    """
+    mx, _ = _check_moments(moments_x, "rx")
+    my, _ = _check_moments(moments_y, "ry")
+    best: Optional[GridPlanning] = None
+    for protocol in protocols:
+        if domain_y is None:
+            if numerical_x:
+                seed, _ = optimal_size_1d_numerical(domain_x, mx, params,
+                                                    protocol)
+                lx, err = refine_integer_1d(
+                    lambda l: error_1d_numerical_expected(
+                        l, moments_x, params, protocol),
+                    float(seed), min(2, domain_x), domain_x)
+            else:
+                lx = domain_x
+                err = error_1d_categorical(domain_x, mx, params, protocol)
+            candidate = GridPlanning(lx=lx, ly=None, protocol=protocol,
+                                     predicted_error=err)
+        elif numerical_x and numerical_y:
+            sx, sy, _ = optimal_size_2d_numerical(domain_x, domain_y,
+                                                  mx, my, params, protocol)
+            lx, ly, err = refine_integer_2d(
+                lambda x, y: error_2d_numerical_expected(
+                    x, y, moments_x, moments_y, params, protocol),
+                (float(sx), float(sy)),
+                (min(2, domain_x), min(2, domain_y)), (domain_x, domain_y))
+            candidate = GridPlanning(lx=lx, ly=ly, protocol=protocol,
+                                     predicted_error=err)
+        elif numerical_x and not numerical_y:
+            seed, _ = optimal_size_2d_num_cat(domain_x, domain_y, mx, my,
+                                              params, protocol)
+            lx, err = refine_integer_1d(
+                lambda l: error_2d_num_cat_expected(
+                    l, domain_y, moments_x, moments_y, params, protocol),
+                float(seed), min(2, domain_x), domain_x)
+            candidate = GridPlanning(lx=lx, ly=domain_y, protocol=protocol,
+                                     predicted_error=err)
+        elif not numerical_x and numerical_y:
+            seed, _ = optimal_size_2d_num_cat(domain_y, domain_x, my, mx,
+                                              params, protocol)
+            ly, err = refine_integer_1d(
+                lambda l: error_2d_num_cat_expected(
+                    l, domain_x, moments_y, moments_x, params, protocol),
+                float(seed), min(2, domain_y), domain_y)
+            candidate = GridPlanning(lx=domain_x, ly=ly, protocol=protocol,
+                                     predicted_error=err)
+        else:
+            err = error_2d_categorical_expected(domain_x, domain_y,
+                                                moments_x, moments_y,
+                                                params, protocol)
             candidate = GridPlanning(lx=domain_x, ly=domain_y,
                                      protocol=protocol, predicted_error=err)
         if best is None or candidate.predicted_error < best.predicted_error:

@@ -1,0 +1,58 @@
+"""Workload-aware planning and the cost-based query optimizer.
+
+FELIP's original planner is workload-blind: grid sizes optimize a generic
+α1/α2 error at the aggregator's global selectivity prior, ``materialize``
+eagerly builds all ``C(k, 2)`` response matrices, and ``answer_workload``
+dispatches whatever arrives. Real deployments have skewed, *declarable*
+workloads. This package closes the loop at two levels:
+
+* **plan time** — :class:`WorkloadSpec` captures per-attribute query
+  frequencies, the λ distribution and per-attribute selectivity
+  histograms (declared explicitly or harvested from a recorded
+  workload). The planner feeds its selectivity moments into the
+  workload-weighted sizing objectives (``repro.grids.sizing``) and
+  :func:`plan_materialization` chooses which attribute pairs to
+  materialize (fewer than ``C(k, 2)`` on large schemas) under a memory
+  budget, ranked by workload benefit per byte.
+* **answer time** — :func:`build_answer_plan` compiles a workload into an
+  explicit :class:`AnswerPlan`: one node per (λ, attribute-set) query
+  group with a strategy (summed-area lookup, stacked matmul, batched
+  λ-IPF) chosen by the :class:`CostModel`'s estimated cost. Plans are
+  pure values — inspectable and unit-testable without running a single
+  query; ``Aggregator.execute_answer_plan`` does the running.
+
+Nothing here imports ``repro.core``: the optimizer is a leaf layer the
+core calls into, so plans stay testable in isolation.
+"""
+
+from repro.optimizer.cost import (
+    CostModel,
+    DefaultCostModel,
+    expected_workload_error,
+)
+from repro.optimizer.materialize import (
+    MaterializationPlan,
+    plan_materialization,
+)
+from repro.optimizer.plan import (
+    AnswerNode,
+    AnswerPlan,
+    build_answer_plan,
+)
+from repro.optimizer.workload import (
+    AttributeProfile,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "AttributeProfile",
+    "WorkloadSpec",
+    "CostModel",
+    "DefaultCostModel",
+    "expected_workload_error",
+    "MaterializationPlan",
+    "plan_materialization",
+    "AnswerNode",
+    "AnswerPlan",
+    "build_answer_plan",
+]

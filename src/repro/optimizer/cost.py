@@ -1,0 +1,217 @@
+"""The optimizer's cost models.
+
+Two kinds of cost live here:
+
+* **plan-time error cost** — :func:`expected_workload_error` scores a
+  *collection plan* (any sequence of planned grids) under a
+  :class:`~repro.optimizer.WorkloadSpec`: each grid's predicted squared
+  error is re-evaluated at the workload's selectivity moments and
+  weighted by how often the workload touches that grid. Because the
+  score is computed from the same (schema, workload) inputs for every
+  candidate plan, workload-aware and workload-blind plans compare on an
+  equal footing — this is the objective the planner minimizes and the
+  number the benchmarks report.
+* **answer-time compute cost** — :class:`CostModel` estimates the work
+  of executing one (λ, attribute-set) query group through each available
+  strategy (summed-area lookup / stacked indicator matmul / batched
+  λ-IPF), in abstract "cell touch" units. :func:`build_answer_plan` asks
+  the model to rank strategies per group; the winner becomes the plan
+  node's strategy. :class:`DefaultCostModel` is calibrated so that with
+  no workload declared it reproduces the legacy engine's dispatch
+  exactly — the refactored plan→execute path then stays bit-identical to
+  the retained legacy path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.grids.sizing import (
+    SizingParams,
+    error_1d_categorical,
+    error_1d_numerical_expected,
+    error_2d_categorical_expected,
+    error_2d_num_cat_expected,
+    error_2d_numerical_expected,
+)
+from repro.optimizer.workload import WorkloadSpec
+
+#: strategies an answer-plan node can carry
+STRATEGIES = ("grid-1d", "marginal-matmul", "sat-lookup", "pair-matmul",
+              "batched-ipf")
+
+
+def _moments_for(spec: Optional[WorkloadSpec], name: str,
+                 fallback: float) -> Tuple[float, float]:
+    if spec is not None:
+        moments = spec.selectivity_moments(name)
+        if moments is not None:
+            return moments
+    return fallback, fallback * fallback
+
+
+def expected_grid_error(plan, moments_x: Tuple[float, float],
+                        moments_y: Optional[Tuple[float, float]],
+                        params: SizingParams) -> float:
+    """One planned grid's predicted squared error at given moments.
+
+    ``plan`` is any object with ``grid`` (Grid1D/Grid2D) and
+    ``protocol`` attributes (duck-typed so this layer never imports
+    ``repro.core``).
+    """
+    grid = plan.grid
+    if moments_y is None:
+        attr = grid.attribute
+        if attr.is_numerical:
+            return error_1d_numerical_expected(
+                grid.num_cells, moments_x, params, plan.protocol)
+        return error_1d_categorical(attr.domain_size, moments_x[0],
+                                    params, plan.protocol)
+    lx, ly = grid.shape
+    num_x = grid.attribute_x.is_numerical
+    num_y = grid.attribute_y.is_numerical
+    if num_x and num_y:
+        return error_2d_numerical_expected(lx, ly, moments_x, moments_y,
+                                           params, plan.protocol)
+    if num_x and not num_y:
+        return error_2d_num_cat_expected(lx, ly, moments_x, moments_y,
+                                         params, plan.protocol)
+    if not num_x and num_y:
+        return error_2d_num_cat_expected(ly, lx, moments_y, moments_x,
+                                         params, plan.protocol)
+    return error_2d_categorical_expected(lx, ly, moments_x, moments_y,
+                                         params, plan.protocol)
+
+
+def expected_workload_error(plans: Iterable, schema,
+                            params: SizingParams,
+                            workload: Optional[WorkloadSpec] = None,
+                            fallback_selectivity: float = 0.5) -> float:
+    """Workload-weighted expected squared error of a collection plan.
+
+    Every grid's predicted error is evaluated at the workload's
+    per-attribute selectivity moments (the config prior where the
+    workload is silent) and weighted by the workload's pressure on that
+    grid — 1-D grids by attribute weight, 2-D grids by pair-lookup
+    weight. Without a workload all grids weigh equally (the legacy
+    uniform objective, normalized).
+
+    Lower is better; the absolute scale is squared frequency error, the
+    same unit as the paper's Section 5.2 objectives.
+    """
+    plans = list(plans)
+    if not plans:
+        raise ConfigurationError("cannot score an empty collection plan")
+    total_weight = 0.0
+    total_error = 0.0
+    for plan in plans:
+        grid = plan.grid
+        if len(grid.key) == 1:
+            name = grid.attribute.name
+            moments = _moments_for(workload, name, fallback_selectivity)
+            error = expected_grid_error(plan, moments, None, params)
+            weight = (workload.attribute_weight(name)
+                      if workload is not None else 1.0)
+        else:
+            name_x = grid.attribute_x.name
+            name_y = grid.attribute_y.name
+            moments_x = _moments_for(workload, name_x, fallback_selectivity)
+            moments_y = _moments_for(workload, name_y, fallback_selectivity)
+            error = expected_grid_error(plan, moments_x, moments_y, params)
+            weight = (workload.pair_weight(name_x, name_y)
+                      if workload is not None else 1.0)
+        total_weight += weight
+        total_error += weight * error
+    if total_weight <= 0:
+        # Workload touches none of the planned grids; fall back to the
+        # unweighted mean so the score stays comparable.
+        return total_error / len(plans) if total_error else float("inf")
+    return total_error / total_weight
+
+
+class CostModel:
+    """Estimated answer-time compute cost per strategy, in cell touches.
+
+    Subclass and override the ``cost_*`` hooks to re-rank strategies;
+    :meth:`rank` returns ``(strategy, cost)`` pairs cheapest-first and is
+    what :func:`~repro.optimizer.build_answer_plan` consults per node.
+    """
+
+    #: relative cost of one O(1) summed-area gather vs one cell touch
+    sat_lookup_cost = 4.0
+    #: IPF sweeps assumed per λ ≥ 3 query group
+    ipf_sweeps = 16.0
+
+    def cost_grid_1d(self, num_queries: int, num_cells: int) -> float:
+        """Stacked weight-matmul against a 1-D grid estimate."""
+        return float(num_queries) * float(num_cells)
+
+    def cost_marginal_matmul(self, num_queries: int, domain: int) -> float:
+        """Stacked indicator matmul against a derived marginal."""
+        return float(num_queries) * float(domain)
+
+    def cost_sat_lookup(self, num_queries: int, num_range: int,
+                        cells: int) -> float:
+        """Range queries through the pair's SAT, the rest by matmul."""
+        return (num_range * self.sat_lookup_cost
+                + (num_queries - num_range) * float(cells))
+
+    def cost_pair_matmul(self, num_queries: int, cells: int) -> float:
+        """Stacked indicator matmul against the pair's response matrix."""
+        return float(num_queries) * float(cells)
+
+    def cost_batched_ipf(self, num_queries: int, dimension: int,
+                         pair_cells: Sequence[int]) -> float:
+        """Pair sign tables + the batched (Q, 2^λ) Algorithm 4 IPF."""
+        tables = float(num_queries) * float(sum(pair_cells))
+        ipf = (float(num_queries) * self.ipf_sweeps
+               * (2.0 ** dimension) * len(pair_cells))
+        return tables + ipf
+
+    def rank(self, *, dimension: int, num_queries: int, num_range: int,
+             cells: Sequence[int], sat_available: bool,
+             grid_1d_available: bool) -> Tuple[Tuple[str, float], ...]:
+        """Rank the strategies available to one query group.
+
+        ``cells`` holds per-involved-structure cell counts: the 1-D
+        grid/marginal domain for λ = 1, the pair matrix size for λ = 2,
+        and every induced pair's matrix size for λ ≥ 3.
+        """
+        if dimension == 1:
+            if grid_1d_available:
+                options = [("grid-1d",
+                            self.cost_grid_1d(num_queries, cells[0]))]
+            else:
+                options = [("marginal-matmul",
+                            self.cost_marginal_matmul(num_queries,
+                                                      cells[0]))]
+        elif dimension == 2:
+            options = [("pair-matmul",
+                        self.cost_pair_matmul(num_queries, cells[0]))]
+            if sat_available and num_range > 0:
+                options.append(("sat-lookup",
+                                self.cost_sat_lookup(num_queries,
+                                                     num_range, cells[0])))
+        else:
+            options = [("batched-ipf",
+                        self.cost_batched_ipf(num_queries, dimension,
+                                              cells))]
+        return tuple(sorted(options, key=lambda pair: pair[1]))
+
+
+class DefaultCostModel(CostModel):
+    """The calibration that reproduces the legacy engine's dispatch.
+
+    Summed-area lookups are modeled as strictly cheaper than any matmul
+    whenever at least one query in the group is a pure range pair —
+    exactly the condition under which the legacy ``_pair_values`` used
+    the SAT. Execution semantics make the remaining (non-range) queries
+    in a ``sat-lookup`` node fall back to the matmul per query, so the
+    two strategies are numerically identical and the choice is pure
+    routing.
+    """
+
+    # Gather cost 0 ⇒ hybrid cost (nq − nrange)·cells < nq·cells strictly
+    # whenever nrange > 0, for every matrix size — the legacy dispatch.
+    sat_lookup_cost = 0.0

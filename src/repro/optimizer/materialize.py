@@ -1,0 +1,110 @@
+"""Workload-driven choice of which attribute pairs to materialize.
+
+``Aggregator.materialize`` eagerly builds a response matrix and a
+summed-area table for every ``C(k, 2)`` attribute pair. On wide schemas
+most pairs are never queried; :func:`plan_materialization` picks the
+subset worth paying for — pairs ranked by workload benefit per byte,
+greedily packed under a memory budget, zero-weight pairs pruned
+outright. Correctness never depends on the choice: un-materialized
+pairs fall back to the aggregator's lazy per-pair path with identical
+numerics, so pruning trades answer-time latency for memory, not
+accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.optimizer.workload import WorkloadSpec
+
+
+def pair_bytes(rows: int, cols: int) -> int:
+    """Resident float64 bytes of one materialized pair.
+
+    The response matrix is ``rows × cols``; its summed-area table pads
+    one zero row and column.
+    """
+    return 8 * (rows * cols + (rows + 1) * (cols + 1))
+
+
+@dataclass(frozen=True)
+class MaterializationPlan:
+    """Which pairs to materialize, and what that choice costs.
+
+    ``pairs``/``pruned`` partition the schema's canonical ``(i, j)``
+    pairs; ``estimated_bytes`` is the resident footprint of ``pairs``
+    (matrix + summed-area table, float64).
+    """
+
+    pairs: Tuple[Tuple[int, int], ...]
+    pruned: Tuple[Tuple[int, int], ...]
+    estimated_bytes: int
+    budget_bytes: Optional[int] = None
+
+    @property
+    def is_exhaustive(self) -> bool:
+        """True when every canonical pair is materialized (legacy)."""
+        return not self.pruned
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly rendering (plan artifacts, benchmarks)."""
+        return {
+            "pairs": [list(p) for p in self.pairs],
+            "pruned": [list(p) for p in self.pruned],
+            "estimated_bytes": self.estimated_bytes,
+            "budget_bytes": self.budget_bytes,
+        }
+
+
+def plan_materialization(
+        schema,
+        workload: Optional[WorkloadSpec] = None,
+        budget_bytes: Optional[int] = None,
+        shapes: Optional[Mapping[Tuple[int, int], Tuple[int, int]]] = None,
+) -> MaterializationPlan:
+    """Choose the attribute pairs worth materializing.
+
+    With neither a workload nor a budget this is the legacy exhaustive
+    plan. A workload prunes pairs it never touches and orders the rest
+    by benefit per byte (pair-lookup weight / resident bytes); a budget
+    then greedily packs that ranking until full. ``shapes`` maps a pair
+    to its planned 2-D grid shape — without it, byte estimates use the
+    raw domain sizes (an upper bound on any granularity the planner can
+    choose).
+    """
+    if budget_bytes is not None and budget_bytes < 0:
+        raise ConfigurationError(
+            f"materialization budget must be >= 0, got {budget_bytes}")
+    names = schema.names
+    sizes = schema.domain_sizes
+    costed = []
+    for i, j in schema.pairs():
+        rows, cols = (shapes or {}).get((i, j), (sizes[i], sizes[j]))
+        weight = (workload.pair_weight(names[i], names[j])
+                  if workload is not None else 1.0)
+        costed.append(((i, j), weight, pair_bytes(rows, cols)))
+
+    if workload is None and budget_bytes is None:
+        pairs = tuple(pair for pair, _, _ in costed)
+        total = sum(cost for _, _, cost in costed)
+        return MaterializationPlan(pairs=pairs, pruned=(),
+                                   estimated_bytes=total)
+
+    keep = [(pair, weight, cost) for pair, weight, cost in costed
+            if weight > 0.0]
+    # Benefit per byte, ties broken by canonical order for determinism.
+    ranked = sorted(keep, key=lambda item: (-item[1] / item[2], item[0]))
+    chosen: Dict[Tuple[int, int], int] = {}
+    spent = 0
+    for pair, _, cost in ranked:
+        if budget_bytes is not None and spent + cost > budget_bytes:
+            continue
+        chosen[pair] = cost
+        spent += cost
+    pairs = tuple(pair for pair, _, _ in costed if pair in chosen)
+    pruned = tuple(pair for pair, _, _ in costed if pair not in chosen)
+    return MaterializationPlan(pairs=pairs, pruned=pruned,
+                               estimated_bytes=spent,
+                               budget_bytes=budget_bytes)

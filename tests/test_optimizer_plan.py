@@ -1,0 +1,307 @@
+"""Plan→execute optimizer: equivalence, purity, pruning, sizing moments.
+
+The load-bearing properties:
+
+* **bit-identity** — the optimizer-executed workload path
+  (``plan_answers`` + ``execute_answer_plan``, which is what
+  ``answer_workload`` runs) returns answers *bit-identical* to the
+  per-query ``answer_workload_loop`` and to the retained
+  ``answer_workload_legacy`` grouping, across every registered pinnable
+  protocol and λ ∈ {1, 2, 3+}, materialized or not;
+* **purity** — ``build_answer_plan`` is a pure function of
+  (schema, queries, config): no fitted state, deterministic output;
+* **pruning never changes answers** — materializing a workload-pruned
+  pair subset yields bit-identical answers to exhaustive
+  materialization-free answering (only latency changes).
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import Felip, FelipConfig, data
+from repro.core.planner import plan_grids
+from repro.errors import ConfigurationError, QueryError
+from repro.fo.registry import pinnable_protocol_names
+from repro.grids.sizing import SizingParams, plan_grid
+from repro.optimizer import (
+    AttributeProfile,
+    DefaultCostModel,
+    WorkloadSpec,
+    build_answer_plan,
+    expected_workload_error,
+    plan_materialization,
+)
+from repro.queries.query import Query
+from repro.queries.workload import WorkloadSpec as RandomWorkload
+from repro.queries.workload import random_workload
+from repro.rng import ensure_rng
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return data.normal_dataset(4000, rng=3)
+
+
+@pytest.fixture(scope="module")
+def mixed_workload(dataset):
+    """Queries at λ = 1, 2, 3 and 4, interleaved across attribute sets."""
+    rng = ensure_rng(11)
+    queries = []
+    for dim in (1, 2, 3, 4):
+        queries += random_workload(
+            dataset.schema,
+            RandomWorkload(num_queries=6, dimension=dim, selectivity=0.4),
+            rng)
+    order = ensure_rng(5).permutation(len(queries))
+    return [queries[i] for i in order]
+
+
+def _fit(dataset, **overrides):
+    with np.errstate(all="ignore"):
+        return Felip(dataset.schema,
+                     FelipConfig(epsilon=1.0, **overrides)).fit(dataset,
+                                                                rng=7)
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("protocol", sorted(pinnable_protocol_names()))
+    @pytest.mark.filterwarnings("ignore::repro.errors.ConvergenceWarning")
+    def test_all_paths_bit_identical_per_protocol(self, dataset,
+                                                  mixed_workload, protocol):
+        model = _fit(dataset, protocols=(protocol,))
+        agg = model.aggregator
+        batch = agg.answer_workload(mixed_workload)
+        assert np.array_equal(batch, agg.answer_workload_loop(mixed_workload))
+        assert np.array_equal(batch,
+                              agg.answer_workload_legacy(mixed_workload))
+        plan = agg.plan_answers(mixed_workload)
+        assert np.array_equal(batch,
+                              agg.execute_answer_plan(plan, mixed_workload))
+
+    @pytest.mark.parametrize("strategy", ["oug", "ohg"])
+    @pytest.mark.filterwarnings("ignore::repro.errors.ConvergenceWarning")
+    def test_bit_identical_after_materialize(self, dataset, mixed_workload,
+                                             strategy):
+        model = _fit(dataset, strategy=strategy).materialize()
+        agg = model.aggregator
+        batch = agg.answer_workload(mixed_workload)
+        assert np.array_equal(batch, agg.answer_workload_loop(mixed_workload))
+        assert np.array_equal(batch,
+                              agg.answer_workload_legacy(mixed_workload))
+
+    @pytest.mark.filterwarnings("ignore::repro.errors.ConvergenceWarning")
+    def test_pruned_materialization_answers_unchanged(self, dataset,
+                                                      mixed_workload):
+        spec = WorkloadSpec.from_queries(mixed_workload, dataset.schema)
+        full = _fit(dataset).materialize()
+        pruned = _fit(dataset, workload=spec)
+        mat_plan = pruned.aggregator.materialization_plan()
+        pruned.materialize()
+        done = pruned.aggregator.fit_diagnostics()["materialized_pairs"]
+        assert done == sorted(mat_plan.pairs)
+        assert np.array_equal(full.answer_workload(mixed_workload),
+                              pruned.answer_workload(mixed_workload))
+
+
+class TestAnswerPlanPurity:
+    def test_pure_function_of_inputs(self, dataset, mixed_workload):
+        config = FelipConfig(epsilon=1.0)
+        first = build_answer_plan(dataset.schema, mixed_workload, config)
+        second = build_answer_plan(dataset.schema, mixed_workload, config)
+        assert first == second
+
+    def test_no_fit_required(self, dataset, mixed_workload):
+        model = Felip(dataset.schema, FelipConfig(epsilon=1.0))
+        plan = model.plan_answers(mixed_workload)
+        assert plan.num_queries == len(mixed_workload)
+
+    def test_positions_partition_the_workload(self, dataset, mixed_workload):
+        plan = build_answer_plan(dataset.schema, mixed_workload,
+                                 FelipConfig(epsilon=1.0))
+        positions = sorted(pos for node in plan.nodes
+                           for pos in node.positions)
+        assert positions == list(range(len(mixed_workload)))
+
+    def test_strategies_match_dimension(self, dataset, mixed_workload):
+        plan = build_answer_plan(dataset.schema, mixed_workload,
+                                 FelipConfig(epsilon=1.0, strategy="ohg"))
+        for node in plan.nodes:
+            if node.dimension == 1:
+                assert node.strategy in ("grid-1d", "marginal-matmul")
+            elif node.dimension == 2:
+                assert node.strategy in ("sat-lookup", "pair-matmul")
+            else:
+                assert node.strategy == "batched-ipf"
+
+    def test_ohg_numerical_singles_use_1d_grid(self, dataset):
+        query = Query([q for q in random_workload(
+            dataset.schema.subset(["num_0"]),
+            RandomWorkload(num_queries=1, dimension=1, selectivity=0.3),
+            ensure_rng(1))[0]])
+        ohg = build_answer_plan(dataset.schema, [query],
+                                FelipConfig(epsilon=1.0, strategy="ohg"))
+        oug = build_answer_plan(dataset.schema, [query],
+                                FelipConfig(epsilon=1.0, strategy="oug"))
+        assert ohg.nodes[0].strategy == "grid-1d"
+        assert oug.nodes[0].strategy == "marginal-matmul"
+
+    def test_range_pairs_prefer_sat_when_materialized(self, dataset):
+        queries = random_workload(
+            dataset.schema.subset(["num_0", "num_1"]),
+            RandomWorkload(num_queries=4, dimension=2, selectivity=0.3,
+                           range_only=True), ensure_rng(2))
+        plan = build_answer_plan(dataset.schema, queries,
+                                 FelipConfig(epsilon=1.0))
+        node = plan.nodes[0]
+        assert node.strategy == "sat-lookup"
+        assert dict(node.alternatives)["pair-matmul"] > node.estimated_cost
+
+    def test_plan_artifact_roundtrips_to_json(self, dataset, mixed_workload):
+        import json
+        plan = build_answer_plan(dataset.schema, mixed_workload,
+                                 FelipConfig(epsilon=1.0))
+        encoded = json.dumps(plan.as_dict())
+        assert json.loads(encoded)["num_queries"] == len(mixed_workload)
+
+    def test_executor_rejects_mismatched_workload(self, dataset,
+                                                  mixed_workload):
+        model = _fit(dataset)
+        plan = model.plan_answers(mixed_workload)
+        with pytest.raises(QueryError):
+            model.execute_answer_plan(plan, mixed_workload[:-1])
+
+
+class TestMaterializationPlanning:
+    def test_legacy_exhaustive_without_workload(self, dataset):
+        plan = plan_materialization(dataset.schema)
+        assert plan.is_exhaustive
+        assert list(plan.pairs) == dataset.schema.pairs()
+
+    def test_zero_weight_pairs_pruned(self, dataset):
+        spec = WorkloadSpec.declare({"num_0": 0.2, "num_1": 0.2},
+                                    pair_weights={("num_0", "num_1"): 1.0})
+        plan = plan_materialization(dataset.schema, workload=spec)
+        i = dataset.schema.index_of("num_0")
+        j = dataset.schema.index_of("num_1")
+        assert plan.pairs == ((i, j),)
+        assert len(plan.pruned) == len(dataset.schema.pairs()) - 1
+
+    def test_budget_packs_by_benefit_per_byte(self, dataset):
+        spec = WorkloadSpec.declare(
+            {"num_0": 0.2, "num_1": 0.2, "cat_0": 0.2},
+            pair_weights={("num_0", "num_1"): 0.5, ("cat_0", "num_0"): 0.5})
+        unbounded = plan_materialization(dataset.schema, workload=spec)
+        assert len(unbounded.pairs) == 2
+        # num_0 x cat_0 is far smaller than num_0 x num_1 at equal
+        # weight, so it wins the benefit-per-byte ranking under a budget
+        # that only fits one of them.
+        cheap = min(unbounded.pairs,
+                    key=lambda p: dataset.schema.domain_sizes[p[0]]
+                    * dataset.schema.domain_sizes[p[1]])
+        budgeted = plan_materialization(dataset.schema, workload=spec,
+                                        budget_bytes=20_000)
+        assert budgeted.pairs == (cheap,)
+        assert budgeted.estimated_bytes <= 20_000
+
+    def test_negative_budget_rejected(self, dataset):
+        with pytest.raises(ConfigurationError):
+            plan_materialization(dataset.schema, budget_bytes=-1)
+
+
+class TestWorkloadSpec:
+    def test_declare_normalizes_and_defaults(self):
+        spec = WorkloadSpec.declare({"a": 0.2, "b": {0.1: 1.0, 0.3: 3.0}})
+        assert spec.attribute_weight("a") == pytest.approx(0.5)
+        assert spec.selectivity_moments("b")[0] == pytest.approx(0.25)
+        assert spec.lambda_weight(2) == 1.0
+        assert spec.pair_weight("b", "a") == 1.0
+        assert spec.selectivity_moments("missing") is None
+
+    def test_harvest_matches_hand_count(self, dataset):
+        queries = random_workload(
+            dataset.schema,
+            RandomWorkload(num_queries=30, dimension=2, selectivity=0.3),
+            ensure_rng(4))
+        spec = WorkloadSpec.from_queries(queries, dataset.schema)
+        assert spec.total_queries == 30
+        assert spec.lambda_weight(2) == 1.0
+        assert sum(spec.pair_weights.values()) == pytest.approx(1.0)
+        assert sum(p.weight for p in spec.attributes.values()) == \
+            pytest.approx(1.0)
+
+    def test_harvest_rejects_empty(self, dataset):
+        with pytest.raises(QueryError):
+            WorkloadSpec.from_queries([], dataset.schema)
+
+    def test_invalid_histogram_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AttributeProfile(weight=0.5, histogram=((1.5, 1.0),))
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec.declare({"a": 0.3}, lambda_weights={0: 1.0})
+
+    def test_recorded_workload_roundtrip(self, dataset, mixed_workload):
+        model = _fit(dataset, record_workload=True)
+        with np.errstate(all="ignore"), warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            model.answer_workload(mixed_workload)
+        spec = model.recorded_workload()
+        direct = WorkloadSpec.from_queries(mixed_workload, dataset.schema)
+        assert spec == direct
+
+    def test_recording_off_raises(self, dataset):
+        model = _fit(dataset)
+        with pytest.raises(QueryError):
+            model.recorded_workload()
+
+
+class TestWorkloadSizing:
+    def test_point_mass_moments_reproduce_legacy_sizes(self):
+        params = SizingParams(epsilon=1.0, n=100_000, m=16,
+                              alpha1=0.7, alpha2=0.03)
+        for r in (0.1, 0.5, 0.9):
+            legacy = plan_grid(64, True, r, params)
+            point = plan_grid(64, True, r, params, moments_x=(r, r * r))
+            assert (legacy.lx, legacy.protocol) == (point.lx, point.protocol)
+            legacy2 = plan_grid(64, True, r, params, domain_y=64,
+                                numerical_y=True, r_y=r)
+            point2 = plan_grid(64, True, r, params, domain_y=64,
+                               numerical_y=True, r_y=r,
+                               moments_x=(r, r * r), moments_y=(r, r * r))
+            assert (legacy2.lx, legacy2.ly) == (point2.lx, point2.ly)
+
+    def test_spread_histogram_changes_plan(self, dataset):
+        spec = WorkloadSpec.declare({"num_0": {0.02: 0.9, 0.9: 0.1}})
+        blind = FelipConfig(epsilon=1.0)
+        aware = FelipConfig(epsilon=1.0, workload=spec)
+        blind_sizes = {p.key: p.num_cells
+                       for p in plan_grids(dataset.schema, blind, 100_000)}
+        aware_sizes = {p.key: p.num_cells
+                       for p in plan_grids(dataset.schema, aware, 100_000)}
+        assert blind_sizes != aware_sizes
+
+    def test_aware_plan_scores_no_worse_under_spec(self, dataset):
+        spec = WorkloadSpec.declare(
+            {"num_0": {0.05: 0.7, 0.6: 0.3}, "num_1": 0.1},
+            lambda_weights={1: 0.3, 2: 0.7},
+            pair_weights={("num_0", "num_1"): 1.0})
+        n = 50_000
+        blind_cfg = FelipConfig(epsilon=1.0)
+        aware_cfg = FelipConfig(epsilon=1.0, workload=spec)
+        params = None
+        scores = {}
+        for name, cfg in (("blind", blind_cfg), ("aware", aware_cfg)):
+            plans = plan_grids(dataset.schema, cfg, n)
+            params = SizingParams(epsilon=1.0, n=n, m=len(plans),
+                                  alpha1=cfg.alpha1, alpha2=cfg.alpha2)
+            scores[name] = expected_workload_error(
+                plans, dataset.schema, params, workload=spec)
+        assert scores["aware"] <= scores["blind"]
+
+    def test_default_cost_model_orders_sat_first(self):
+        model = DefaultCostModel()
+        ranked = model.rank(dimension=2, num_queries=10, num_range=1,
+                            cells=[4], sat_available=True,
+                            grid_1d_available=False)
+        assert ranked[0][0] == "sat-lookup"
